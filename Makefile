@@ -1,0 +1,42 @@
+# dragonvar build/test/reproduction targets.
+
+GO ?= go
+CACHE ?= testdata/campaign.gob
+DAYS ?= 130
+SEED ?= 42
+
+.PHONY: all build test vet bench campaign report plots csv clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark harness: regenerates every table/figure from the cached
+# campaign (generated on first run, ~5 minutes).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Simulate the four-month controlled-experiment campaign.
+campaign:
+	$(GO) run ./cmd/dfvar campaign -days $(DAYS) -seed $(SEED) -cache $(CACHE)
+
+# Regenerate every table and figure of the paper (text form).
+report:
+	$(GO) run ./cmd/dfvar report -cache $(CACHE) -days $(DAYS) -seed $(SEED) all
+
+# Figure SVGs and CSV dumps.
+plots:
+	$(GO) run ./cmd/dfvar plot -cache $(CACHE) -days $(DAYS) -seed $(SEED) -out plots
+
+csv:
+	$(GO) run ./cmd/dfvar export -cache $(CACHE) -days $(DAYS) -seed $(SEED) -out csv
+
+clean:
+	rm -rf plots csv

@@ -1,0 +1,75 @@
+// Command dfcalib summarizes the variability a campaign configuration
+// produces: per dataset, the best/mean/worst total times, the worst-to-best
+// ratio (the paper's headline "up to 3× slower"), and the MPI time
+// fraction. Use it to sanity-check simulator calibration against §III-B
+// before running the full evaluation.
+//
+//	dfcalib -days 15 -seed 42 [-small] [-cache FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/core"
+	"dragonvar/internal/report"
+	"dragonvar/internal/stats"
+	"dragonvar/internal/topology"
+)
+
+func main() {
+	days := flag.Float64("days", 15, "campaign length in days")
+	seed := flag.Int64("seed", 42, "campaign seed")
+	small := flag.Bool("small", false, "use the reduced test machine")
+	cache := flag.String("cache", "", "optional campaign cache file")
+	flag.Parse()
+
+	cfg := cluster.Config{Days: *days, Seed: *seed}
+	if *small {
+		cfg.Machine = topology.Small()
+	}
+	cfg.Progress = func(done, total int) {
+		if done%50 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\rsimulating: %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: cfg, CachePath: *cache})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaign ready in %v\n", time.Since(start).Round(time.Second))
+
+	t := report.NewTable(
+		fmt.Sprintf("calibration summary (%d runs, %g days, seed %d)", camp.TotalRuns(), *days, *seed),
+		"dataset", "runs", "best s", "mean s", "p90 s", "worst s", "worst/best", "MPI %")
+	for _, ds := range camp.Datasets {
+		if len(ds.Runs) == 0 {
+			t.AddRow(ds.Name, 0, "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		var totals, fracs []float64
+		for _, r := range ds.Runs {
+			totals = append(totals, r.TotalTime())
+			fracs = append(fracs, r.Profile.Total()/r.TotalTime())
+		}
+		best, worst := stats.Min(totals), stats.Max(totals)
+		t.AddRow(ds.Name, len(ds.Runs),
+			fmt.Sprintf("%.0f", best),
+			fmt.Sprintf("%.0f", stats.Mean(totals)),
+			fmt.Sprintf("%.0f", stats.Quantile(totals, 0.9)),
+			fmt.Sprintf("%.0f", worst),
+			fmt.Sprintf("%.2f", worst/best),
+			fmt.Sprintf("%.0f", 100*stats.Mean(fracs)))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\npaper targets (§III-B): miniVite worst 3.76x, UMT worst 3.3x; MPI% = 76/82 (AMG), 89 (MILC), 98 (miniVite), 30 (UMT)")
+}

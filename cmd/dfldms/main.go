@@ -1,0 +1,171 @@
+// Command dfldms records and inspects system-wide counter streams — the
+// scaled-down stand-in for the LDMS pipeline that sampled every Aries
+// router on Cori once per second (~5 TB/day, §III-C).
+//
+//	dfldms record [-small] [-days N] [-seed S] [-hours H] [-interval SEC] -out FILE
+//	    Replay the background timeline and stream per-router counters.
+//
+//	dfldms summarize -in FILE [-top K]
+//	    Read a log back and report its busiest routers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/topology"
+	"dragonvar/internal/traceio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "summarize":
+		err = cmdSummarize(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfldms: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] -out FILE
+  dfldms summarize -in FILE [-top K]`)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	small := fs.Bool("small", false, "use the reduced test machine")
+	days := fs.Float64("days", 2, "background timeline length")
+	seed := fs.Int64("seed", 42, "timeline seed")
+	hours := fs.Float64("hours", 1, "recording window length")
+	interval := fs.Float64("interval", 60, "sampling interval, seconds")
+	out := fs.String("out", "ldms.bin", "output log file")
+	fs.Parse(args)
+
+	cfg := cluster.Config{Days: *days, Seed: *seed}
+	if *small {
+		cfg.Machine = topology.Small()
+	}
+	fmt.Fprintln(os.Stderr, "building machine and background timeline...")
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	fh, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	nr := c.Topo.Cfg.NumRouters()
+	w, err := traceio.NewWriter(fh, nr*cluster.LDMSSeriesPerRouter)
+	if err != nil {
+		return err
+	}
+
+	// record from the middle of the timeline (steady state)
+	t0 := c.Timeline.Horizon()/2 - *hours*1800
+	t1 := t0 + *hours*3600
+	start := time.Now()
+	n, err := c.RecordLDMS(w, t0, t1, *interval)
+	if err != nil {
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d samples of %d routers × %d series in %v\n",
+		n, nr, cluster.LDMSSeriesPerRouter, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("log: %s (%.1f MiB, %.2f bytes per counter sample)\n",
+		*out, float64(info.Size())/(1<<20),
+		float64(info.Size())/float64(n*nr*cluster.LDMSSeriesPerRouter))
+	perDay := float64(info.Size()) / (*hours) * 24 / (1 << 30)
+	fmt.Printf("at this rate a full day is %.2f GiB (Cori's real 1 Hz feed was ~5 TB/day)\n", perDay)
+	return nil
+}
+
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	in := fs.String("in", "ldms.bin", "input log file")
+	top := fs.Int("top", 10, "busiest routers to list")
+	fs.Parse(args)
+
+	fh, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	r, err := traceio.NewReader(fh)
+	if err != nil {
+		return err
+	}
+	series := r.NumSeries()
+	routers := series / cluster.LDMSSeriesPerRouter
+
+	var first, last []float64
+	var t0, t1 float64
+	samples := 0
+	buf := make([]float64, series)
+	for {
+		t, v, err := r.Next(buf)
+		if err != nil {
+			break
+		}
+		if samples == 0 {
+			t0 = t
+			first = append([]float64(nil), v...)
+		}
+		t1 = t
+		if last == nil {
+			last = make([]float64, series)
+		}
+		copy(last, v)
+		samples++
+	}
+	if samples < 2 {
+		return fmt.Errorf("log has %d samples; need at least 2", samples)
+	}
+
+	fmt.Printf("log: %d samples over %.0fs, %d routers\n", samples, t1-t0, routers)
+	type load struct {
+		router int
+		flits  float64
+		stalls float64
+	}
+	var loads []load
+	for ri := 0; ri < routers; ri++ {
+		base := ri * cluster.LDMSSeriesPerRouter
+		loads = append(loads, load{
+			router: ri,
+			flits:  last[base] - first[base],
+			stalls: last[base+1] - first[base+1],
+		})
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].flits > loads[j].flits })
+	fmt.Printf("\nbusiest routers by RT_FLIT_TOT over the window:\n")
+	for i := 0; i < *top && i < len(loads); i++ {
+		fmt.Printf("  router %4d: %.3g flits, %.3g stall cycles\n",
+			loads[i].router, loads[i].flits, loads[i].stalls)
+	}
+	return nil
+}

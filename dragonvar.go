@@ -1,0 +1,140 @@
+// Package dragonvar is a simulation-backed reproduction of "The Case of
+// Performance Variability on Dragonfly-based Systems" (Bhatele et al.,
+// IPDPS 2020): a Cray XC-style dragonfly network simulator with Aries
+// hardware counters, application workload models, a production scheduler,
+// and the paper's analysis stack — mutual-information neighborhood
+// analysis, gradient-boosted deviation models with recursive feature
+// elimination, and an attention-based execution-time forecaster.
+//
+// This package is the public facade: it re-exports the user-facing types
+// of the internal packages. Typical use:
+//
+//	camp, err := dragonvar.GenerateCampaign(dragonvar.CampaignConfig{
+//	    Cluster:   dragonvar.ClusterConfig{Days: 30, Seed: 42},
+//	    CachePath: "campaign.gob",
+//	})
+//	res := dragonvar.AnalyzeDeviation(camp.Get("MILC-128"),
+//	    dragonvar.DeviationOptions{}, 42)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// paper-to-module mapping.
+package dragonvar
+
+import (
+	"dragonvar/internal/apps"
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/core"
+	"dragonvar/internal/counters"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/experiments"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/topology"
+)
+
+// Machine topology.
+type (
+	// TopologyConfig parameterizes a Cray XC-style dragonfly machine.
+	TopologyConfig = topology.Config
+	// Dragonfly is a wired dragonfly machine.
+	Dragonfly = topology.Dragonfly
+)
+
+// Cori returns the configuration of the machine the paper measured.
+func Cori() TopologyConfig { return topology.Cori() }
+
+// SmallMachine returns a reduced configuration for experimentation.
+func SmallMachine() TopologyConfig { return topology.Small() }
+
+// NewMachine wires a dragonfly from the configuration.
+func NewMachine(cfg TopologyConfig) (*Dragonfly, error) { return topology.New(cfg) }
+
+// Network simulation.
+type (
+	// NetworkConfig sets the simulated interconnect's physical constants.
+	NetworkConfig = netsim.Config
+	// Network is the flow-level congestion simulator.
+	Network = netsim.Network
+)
+
+// DefaultNetworkConfig returns the campaign's interconnect calibration.
+func DefaultNetworkConfig() NetworkConfig { return netsim.DefaultConfig() }
+
+// Applications and campaign.
+type (
+	// AppModel is one application/node-count configuration (Table I row).
+	AppModel = apps.Model
+	// ClusterConfig parameterizes the campaign: machine, background
+	// workload, submission schedule.
+	ClusterConfig = cluster.Config
+	// Cluster is a machine with its background workload.
+	Cluster = cluster.Cluster
+	// Campaign is the full experiment output (the six datasets).
+	Campaign = dataset.Campaign
+	// Dataset is all runs of one application configuration.
+	Dataset = dataset.Dataset
+	// Run is one controlled experiment.
+	Run = dataset.Run
+)
+
+// AppRegistry returns the six Table I dataset configurations.
+func AppRegistry() []*AppModel { return apps.Registry() }
+
+// NewCluster builds the machine and generates its background timeline.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Analyses (the paper's contribution).
+type (
+	// CampaignConfig couples a cluster configuration with a cache path.
+	CampaignConfig = core.CampaignConfig
+	// FeatureSet selects the model feature groups (app/placement/io/sys).
+	FeatureSet = counters.FeatureSet
+	// NeighborhoodOptions parameterizes the §IV-A analysis.
+	NeighborhoodOptions = core.NeighborhoodOptions
+	// NeighborhoodResult ranks neighbors by mutual information.
+	NeighborhoodResult = core.NeighborhoodResult
+	// DeviationOptions parameterizes the §IV-B analysis.
+	DeviationOptions = core.DeviationOptions
+	// DeviationResult carries counter relevance scores and model MAPE.
+	DeviationResult = core.DeviationResult
+	// ForecastSpec names one forecasting experiment (m, k, features).
+	ForecastSpec = core.ForecastSpec
+	// ForecastOptions parameterizes forecaster training.
+	ForecastOptions = core.ForecastOptions
+	// ForecastResult is the cross-validated forecast error.
+	ForecastResult = core.ForecastResult
+	// SegmentForecast is one observed/predicted segment of a long run.
+	SegmentForecast = core.SegmentForecast
+	// Suite regenerates every table and figure of the paper.
+	Suite = experiments.Suite
+)
+
+// GenerateCampaign simulates (or loads from cache) the controlled
+// experiment campaign.
+func GenerateCampaign(cfg CampaignConfig) (*Campaign, error) { return core.LoadOrGenerate(cfg) }
+
+// LoadCampaign reads a cached campaign.
+func LoadCampaign(path string) (*Campaign, error) { return dataset.Load(path) }
+
+// AnalyzeNeighborhood ranks a dataset's concurrent users by mutual
+// information with run optimality (Table III).
+func AnalyzeNeighborhood(ds *Dataset, opt NeighborhoodOptions) NeighborhoodResult {
+	return core.AnalyzeNeighborhood(ds, opt)
+}
+
+// AnalyzeDeviation ranks hardware counters by relevance in predicting
+// per-step deviation from mean behaviour (Figure 9).
+func AnalyzeDeviation(ds *Dataset, opt DeviationOptions, seed int64) DeviationResult {
+	return core.AnalyzeDeviation(ds, opt, seed)
+}
+
+// Forecast trains and cross-validates the attention forecaster (Figures 8
+// and 10).
+func Forecast(ds *Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) ForecastResult {
+	return core.Forecast(ds, spec, opt, seed)
+}
+
+// ForecastLongRun predicts a long run segment by segment using a model
+// trained only on campaign data (Figure 12).
+func ForecastLongRun(train *Dataset, long *Run, spec ForecastSpec, opt ForecastOptions, seed int64) []SegmentForecast {
+	return core.ForecastLongRun(train, long, spec, opt, seed)
+}

@@ -1,0 +1,100 @@
+package dragonvar
+
+import (
+	"testing"
+
+	"dragonvar/internal/topology"
+)
+
+// The facade tests exercise the public API end to end at a small scale;
+// the heavy lifting is tested inside the internal packages.
+
+func TestFacadeMachineConstruction(t *testing.T) {
+	d, err := NewMachine(SmallMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.TakeCensus()
+	if c.Routers == 0 || c.BlueLinks == 0 {
+		t.Fatalf("census = %+v", c)
+	}
+	cori := Cori()
+	if cori.Groups != 34 || cori.RoutersPerGroup() != 96 {
+		t.Fatalf("Cori config = %+v", cori)
+	}
+}
+
+func TestFacadeAppRegistry(t *testing.T) {
+	reg := AppRegistry()
+	if len(reg) != 6 {
+		t.Fatalf("registry = %d entries", len(reg))
+	}
+}
+
+func TestFacadeCampaignAndAnalyses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	var models []*AppModel
+	for _, m := range AppRegistry() {
+		if m.Nodes == 128 && (m.App.String() == "AMG" || m.App.String() == "MILC") {
+			mm := *m
+			if mm.Steps > 16 {
+				mm.Steps = 16
+			}
+			models = append(models, &mm)
+		}
+	}
+	camp, err := GenerateCampaign(CampaignConfig{
+		Cluster: ClusterConfig{
+			Machine:        SmallMachine(),
+			Days:           4,
+			Seed:           77,
+			Models:         models,
+			MeanRunsPerDay: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.TotalRuns() == 0 {
+		t.Fatal("no runs")
+	}
+
+	ds := camp.Get("MILC-128")
+	if ds == nil || len(ds.Runs) == 0 {
+		t.Skip("MILC-128 empty at this tiny scale")
+	}
+
+	// neighborhood
+	n := AnalyzeNeighborhood(ds, NeighborhoodOptions{MinNodes: 32})
+	if n.Runs != len(ds.Runs) {
+		t.Fatal("neighborhood run count wrong")
+	}
+
+	// deviation
+	dev := AnalyzeDeviation(ds, DeviationOptions{Folds: 3, MaxSamples: 300}, 1)
+	if len(dev.Relevance) != 13 {
+		t.Fatalf("relevance features = %d", len(dev.Relevance))
+	}
+
+	// forecasting (only when runs are long enough)
+	if ds.Steps() >= 11 {
+		res := Forecast(ds, ForecastSpec{M: 5, K: 5}, ForecastOptions{Folds: 2}, 1)
+		if res.Windows > 0 && res.MAPE < 0 {
+			t.Fatalf("forecast MAPE = %v", res.MAPE)
+		}
+	}
+}
+
+func TestFacadeTypesAreAliases(t *testing.T) {
+	// compile-time checks that facade aliases interoperate with internals
+	var cfg TopologyConfig = topology.Small()
+	if _, err := NewMachine(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var fs FeatureSet
+	if fs.Count() != 13 {
+		t.Fatalf("base feature count = %d", fs.Count())
+	}
+}

@@ -1,0 +1,73 @@
+// Forecasting (§IV-C / Figures 8, 10, 12): predict the total execution
+// time of the next k time steps from the network counters of the last m
+// steps, using scalar dot-product attention over the step features. The
+// example trains on short campaign runs and then forecasts a much longer
+// production-style run the model has never seen.
+//
+//	go run ./examples/forecasting
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dragonvar"
+	"dragonvar/internal/apps"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Fprintln(os.Stderr, "simulating a 10-day campaign (a couple of minutes)...")
+
+	machine := dragonvar.SmallMachine()
+	milc := apps.Find(apps.MILC, 128)
+	cfg := dragonvar.ClusterConfig{
+		Machine: machine,
+		Days:    10,
+		Seed:    5,
+		Models:  []*dragonvar.AppModel{milc},
+	}
+	cl, err := dragonvar.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	camp, err := cl.RunCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := camp.Get("MILC-128")
+	fmt.Printf("training data: %d MILC runs of %d steps each\n\n", len(ds.Runs), ds.Steps())
+
+	// Ablation: how do the temporal context m and the horizon k affect
+	// accuracy, and do the placement features help?
+	opt := dragonvar.ForecastOptions{Folds: 3}
+	for _, spec := range []dragonvar.ForecastSpec{
+		{M: 10, K: 20, Features: dragonvar.FeatureSet{}},
+		{M: 30, K: 20, Features: dragonvar.FeatureSet{}},
+		{M: 30, K: 40, Features: dragonvar.FeatureSet{}},
+		{M: 30, K: 40, Features: dragonvar.FeatureSet{Placement: true, IO: true, Sys: true}},
+	} {
+		res := dragonvar.Forecast(ds, spec, opt, 17)
+		fmt.Printf("%-38s MAPE %5.1f%%  (%d windows)\n", spec, res.MAPE, res.Windows)
+	}
+
+	// The Figure 12 scenario: a long-running production job. The model is
+	// trained only on the short campaign runs.
+	fmt.Fprintln(os.Stderr, "\nsimulating a 320-step MILC run and forecasting it in segments...")
+	long, err := cl.SimulateLongRun(milc, 320, camp.Days*86400/2, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := dragonvar.ForecastSpec{M: 30, K: 40, Features: dragonvar.FeatureSet{Placement: true, IO: true, Sys: true}}
+	segs := dragonvar.ForecastLongRun(ds, long, spec, opt, 29)
+
+	fmt.Printf("\n%-10s %10s %10s %8s\n", "segment", "observed", "predicted", "error")
+	for _, sg := range segs {
+		errPct := 100 * (sg.Predicted - sg.Observed) / sg.Observed
+		fmt.Printf("%4d-%4d  %9.1fs %9.1fs %+7.1f%%  %s\n",
+			sg.StartStep, sg.StartStep+spec.K, sg.Observed, sg.Predicted, errPct,
+			strings.Repeat("*", int(sg.Observed/20)))
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a dragonfly machine, simulate a small controlled
+// experiment campaign, and look at the variability it produced.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dragonvar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The machine the paper measured (Cori) is available as
+	// dragonvar.Cori(); the reduced machine keeps this example fast.
+	machine := dragonvar.SmallMachine()
+	d, err := dragonvar.NewMachine(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	census := d.TakeCensus()
+	fmt.Printf("machine: %d groups, %d routers, %d nodes (%d KNL / %d Haswell / %d I/O)\n",
+		census.Groups, census.Routers, census.Nodes,
+		census.KNLNodes, census.HaswellNodes, census.IONodes)
+	fmt.Printf("links:   %d green (row), %d black (column), %d blue (global)\n\n",
+		census.GreenLinks, census.BlackLinks, census.BlueLinks)
+
+	// Simulate a short campaign: the four applications of Table I are
+	// submitted daily into a production background of ~40 synthetic users.
+	fmt.Fprintln(os.Stderr, "simulating a 6-day campaign (about a minute)...")
+	models := dragonvar.AppRegistry()
+	// keep the 128-node configurations; 512-node jobs need the full machine
+	var small []*dragonvar.AppModel
+	for _, m := range models {
+		if m.Nodes == 128 {
+			small = append(small, m)
+		}
+	}
+	camp, err := dragonvar.GenerateCampaign(dragonvar.CampaignConfig{
+		Cluster: dragonvar.ClusterConfig{
+			Machine: machine,
+			Days:    6,
+			Seed:    2026,
+			Models:  small,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("campaign: %d instrumented runs\n\n", camp.TotalRuns())
+	for _, ds := range camp.Datasets {
+		if len(ds.Runs) == 0 {
+			continue
+		}
+		best := ds.BestTotalTime()
+		var worst float64
+		for _, r := range ds.Runs {
+			if t := r.TotalTime(); t > worst {
+				worst = t
+			}
+		}
+		fmt.Printf("%-14s %3d runs   best %6.0fs   worst %6.0fs   (%.2fx slower)\n",
+			ds.Name, len(ds.Runs), best, worst, worst/best)
+	}
+
+	// Every run records per-step times and the Table II hardware counters
+	// of the routers its nodes attach to.
+	ds := camp.Datasets[0]
+	if len(ds.Runs) > 0 {
+		r := ds.Runs[0]
+		fmt.Printf("\nfirst %s run: %d steps, placed on %d routers in %d groups\n",
+			ds.Name, r.Steps(), r.NumRouters, r.NumGroups)
+		fmt.Printf("step 0: %.1fs wall, RT_FLIT_TOT=%.3g RT_RB_STL=%.3g\n",
+			r.StepTimes[0], r.Counters[0][0], r.Counters[0][3])
+		fmt.Printf("neighbors during the run: %d users\n", len(r.Neighbors))
+	}
+}

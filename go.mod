@@ -1,0 +1,3 @@
+module dragonvar
+
+go 1.22

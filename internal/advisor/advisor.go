@@ -1,0 +1,161 @@
+// Package advisor implements the paper's proposed application of its
+// findings (§V-A, §VII): a resource manager that uses historical blame
+// data to delay scheduling communication-sensitive jobs while known
+// network-heavy users are running.
+//
+// The advisor is trained on the first part of a campaign (it runs the
+// mutual-information neighborhood analysis to learn which users predict
+// slowdowns) and is evaluated on the rest: if the runs it would have
+// delayed really were slower than the ones it would have admitted, the
+// blame lists carry actionable signal.
+package advisor
+
+import (
+	"sort"
+
+	"dragonvar/internal/core"
+	"dragonvar/internal/dataset"
+)
+
+// Options configures training.
+type Options struct {
+	// Neighborhood is passed through to the MI analysis.
+	Neighborhood core.NeighborhoodOptions
+	// MinLists is how many datasets' high-MI lists a user must appear in
+	// to be blamed (the paper's Table III keeps users in ≥ 2 lists).
+	MinLists int
+	// TrainFraction is the leading fraction of campaign days used for
+	// training; the rest is evaluation. Default 0.5.
+	TrainFraction float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLists <= 0 {
+		o.MinLists = 2
+	}
+	if o.TrainFraction <= 0 || o.TrainFraction >= 1 {
+		o.TrainFraction = 0.5
+	}
+	return o
+}
+
+// Advisor holds the learned blame list.
+type Advisor struct {
+	blamed   map[string]bool
+	trainEnd int // first evaluation day
+}
+
+// Blamed returns the learned blame list, sorted.
+func (a *Advisor) Blamed() []string {
+	out := make([]string, 0, len(a.blamed))
+	for u := range a.blamed {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShouldDelay reports whether a communication-sensitive job should be
+// delayed given the users currently running on the system, and the blamed
+// users present.
+func (a *Advisor) ShouldDelay(runningUsers []string) (bool, []string) {
+	var present []string
+	for _, u := range runningUsers {
+		if a.blamed[u] {
+			present = append(present, u)
+		}
+	}
+	sort.Strings(present)
+	return len(present) > 0, present
+}
+
+// Train learns the blame list from the leading TrainFraction of campaign
+// days: it slices every dataset to its training runs and runs the Table
+// III analysis on the slice.
+func Train(camp *dataset.Campaign, opt Options) *Advisor {
+	opt = opt.withDefaults()
+	trainEnd := int(camp.Days * opt.TrainFraction)
+
+	trainCamp := &dataset.Campaign{Seed: camp.Seed, Days: camp.Days}
+	for _, ds := range camp.Datasets {
+		sliced := &dataset.Dataset{Name: ds.Name, App: ds.App, Nodes: ds.Nodes}
+		for _, r := range ds.Runs {
+			if r.Day < trainEnd {
+				sliced.Runs = append(sliced.Runs, r)
+			}
+		}
+		trainCamp.Datasets = append(trainCamp.Datasets, sliced)
+	}
+	_, recurring := core.Table3(trainCamp, opt.Neighborhood)
+
+	a := &Advisor{blamed: map[string]bool{}, trainEnd: trainEnd}
+	for u, lists := range recurring {
+		if lists >= opt.MinLists {
+			a.blamed[u] = true
+		}
+	}
+	return a
+}
+
+// Evaluation compares the runs the advisor would have delayed with the
+// runs it would have admitted, on the held-out part of the campaign.
+// Relative performance is each run's total time divided by its dataset's
+// best held-out time, so datasets are comparable.
+type Evaluation struct {
+	Flagged, Admitted               int
+	FlaggedMeanRel, AdmittedMeanRel float64
+	// Improvement is FlaggedMeanRel − AdmittedMeanRel: how much slower the
+	// runs the advisor would have delayed actually were (positive = the
+	// advice carries signal).
+	Improvement float64
+}
+
+// Evaluate replays the held-out runs through the advisor.
+func Evaluate(camp *dataset.Campaign, a *Advisor) Evaluation {
+	var ev Evaluation
+	var fSum, aSum float64
+	for _, ds := range camp.Datasets {
+		// best held-out time as the normalizer
+		best := 0.0
+		for _, r := range ds.Runs {
+			if r.Day < a.trainEnd {
+				continue
+			}
+			t := r.TotalTime()
+			if best == 0 || t < best {
+				best = t
+			}
+		}
+		if best == 0 {
+			continue
+		}
+		for _, r := range ds.Runs {
+			if r.Day < a.trainEnd {
+				continue
+			}
+			var users []string
+			for _, n := range r.Neighbors {
+				users = append(users, n.User)
+			}
+			delay, _ := a.ShouldDelay(users)
+			rel := r.TotalTime() / best
+			if delay {
+				ev.Flagged++
+				fSum += rel
+			} else {
+				ev.Admitted++
+				aSum += rel
+			}
+		}
+	}
+	if ev.Flagged > 0 {
+		ev.FlaggedMeanRel = fSum / float64(ev.Flagged)
+	}
+	if ev.Admitted > 0 {
+		ev.AdmittedMeanRel = aSum / float64(ev.Admitted)
+	}
+	if ev.Flagged > 0 && ev.Admitted > 0 {
+		ev.Improvement = ev.FlaggedMeanRel - ev.AdmittedMeanRel
+	}
+	return ev
+}

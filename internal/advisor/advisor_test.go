@@ -1,0 +1,111 @@
+package advisor
+
+import (
+	"testing"
+
+	"dragonvar/internal/dataset"
+)
+
+// syntheticCampaign builds a campaign where User-2's presence causes a 40%
+// slowdown, User-20 is noise, over 20 "days" with one run per day per
+// dataset.
+func syntheticCampaign() *dataset.Campaign {
+	camp := &dataset.Campaign{Seed: 1, Days: 20}
+	for _, name := range []string{"A-128", "B-128"} {
+		ds := &dataset.Dataset{Name: name, App: name[:1], Nodes: 128}
+		for day := 0; day < 20; day++ {
+			slow := day%3 == 0 // User-2 present every third day
+			stepTime := 10.0
+			if slow {
+				stepTime = 14.0
+			}
+			r := &dataset.Run{Dataset: name, RunID: day, Day: day, NumRouters: 32, NumGroups: 4}
+			for s := 0; s < 5; s++ {
+				r.StepTimes = append(r.StepTimes, stepTime)
+				r.Compute = append(r.Compute, 1)
+				r.Counters = append(r.Counters, [13]float64{})
+				r.IO = append(r.IO, [4]float64{})
+				r.Sys = append(r.Sys, [4]float64{})
+			}
+			r.Neighbors = []dataset.NeighborJob{{User: "User-20", MaxNodes: 256}}
+			if slow {
+				r.Neighbors = append(r.Neighbors, dataset.NeighborJob{User: "User-2", MaxNodes: 512})
+			}
+			if day%2 == 0 {
+				// an uncorrelated big user
+				r.Neighbors = append(r.Neighbors, dataset.NeighborJob{User: "User-30", MaxNodes: 512})
+			}
+			ds.Runs = append(ds.Runs, r)
+		}
+		camp.Datasets = append(camp.Datasets, ds)
+	}
+	return camp
+}
+
+func TestTrainLearnsBlameList(t *testing.T) {
+	camp := syntheticCampaign()
+	a := Train(camp, Options{})
+	blamed := a.Blamed()
+	found := false
+	for _, u := range blamed {
+		if u == "User-2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("User-2 not blamed: %v", blamed)
+	}
+	for _, u := range blamed {
+		if u == "User-20" {
+			t.Fatal("constant-presence user blamed (carries no information)")
+		}
+	}
+}
+
+func TestShouldDelay(t *testing.T) {
+	camp := syntheticCampaign()
+	a := Train(camp, Options{})
+	delay, present := a.ShouldDelay([]string{"User-20", "User-2"})
+	if !delay || len(present) == 0 {
+		t.Fatal("blamed user present but no delay advised")
+	}
+	delay, present = a.ShouldDelay([]string{"User-20", "User-31"})
+	if delay || len(present) != 0 {
+		t.Fatal("delay advised with no blamed user present")
+	}
+}
+
+func TestEvaluationShowsSignal(t *testing.T) {
+	camp := syntheticCampaign()
+	a := Train(camp, Options{})
+	ev := Evaluate(camp, a)
+	if ev.Flagged == 0 || ev.Admitted == 0 {
+		t.Fatalf("degenerate evaluation: %+v", ev)
+	}
+	// flagged runs are the User-2 runs, which are 40% slower
+	if ev.Improvement <= 0.2 {
+		t.Fatalf("advisor found no signal: %+v", ev)
+	}
+}
+
+func TestTrainEvalSplit(t *testing.T) {
+	camp := syntheticCampaign()
+	a := Train(camp, Options{TrainFraction: 0.5})
+	if a.trainEnd != 10 {
+		t.Fatalf("trainEnd = %d", a.trainEnd)
+	}
+	ev := Evaluate(camp, a)
+	// only held-out runs counted: 2 datasets × 10 days
+	if ev.Flagged+ev.Admitted != 20 {
+		t.Fatalf("evaluated %d runs, want 20", ev.Flagged+ev.Admitted)
+	}
+}
+
+func TestEmptyEvaluation(t *testing.T) {
+	camp := &dataset.Campaign{Days: 10}
+	a := Train(camp, Options{})
+	ev := Evaluate(camp, a)
+	if ev.Flagged != 0 || ev.Admitted != 0 || ev.Improvement != 0 {
+		t.Fatalf("empty campaign evaluation = %+v", ev)
+	}
+}

@@ -1,0 +1,383 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dragonvar/internal/mpi"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+func smallMachine(t *testing.T) *topology.Dragonfly {
+	t.Helper()
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func place(t *testing.T, d *topology.Dragonfly, n int) []topology.NodeID {
+	t.Helper()
+	knl := d.ComputeNodes(topology.KNL)
+	if len(knl) < n {
+		t.Fatalf("machine has %d KNL nodes, need %d", len(knl), n)
+	}
+	return knl[:n]
+}
+
+func TestRegistryMatchesTable1(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 6 {
+		t.Fatalf("registry has %d datasets, Table I has 6", len(reg))
+	}
+	type row struct {
+		app   App
+		nodes int
+		steps int
+	}
+	want := []row{
+		{AMG, 128, 20}, {AMG, 512, 20},
+		{MILC, 128, 80}, {MILC, 512, 80},
+		{MiniVite, 128, 6}, {UMT, 128, 7},
+	}
+	for i, w := range want {
+		m := reg[i]
+		if m.App != w.app || m.Nodes != w.nodes || m.Steps != w.steps {
+			t.Fatalf("row %d = %s/%d/%d steps, want %v/%d/%d", i, m.App, m.Nodes, m.Steps, w.app, w.nodes, w.steps)
+		}
+		if m.InputParams == "" || m.Version == "" {
+			t.Fatalf("row %d missing Table I metadata", i)
+		}
+		if m.RanksPerNode != 64 {
+			t.Fatalf("row %d: paper uses 64 of 68 KNL cores, got %d", i, m.RanksPerNode)
+		}
+		var mixSum float64
+		for _, v := range m.RoutineMix {
+			mixSum += v
+		}
+		if math.Abs(mixSum-1) > 1e-9 {
+			t.Fatalf("%s routine mix sums to %v", m.Name(), mixSum)
+		}
+		if m.MPIFraction <= 0 || m.MPIFraction >= 1 {
+			t.Fatalf("%s MPI fraction %v out of range", m.Name(), m.MPIFraction)
+		}
+	}
+}
+
+func TestMPIFractionsMatchPaper(t *testing.T) {
+	// §III-B: AMG 76/82%, MILC 89%, miniVite 98%, UMT 30%
+	cases := map[string]float64{
+		"AMG-128": 0.76, "AMG-512": 0.82,
+		"MILC-128": 0.89, "MILC-512": 0.89,
+		"miniVite-128": 0.98, "UMT-128": 0.30,
+	}
+	for _, m := range Registry() {
+		want, ok := cases[m.Name()]
+		if !ok {
+			t.Fatalf("unexpected dataset %s", m.Name())
+		}
+		if math.Abs(m.MPIFraction-want) > 1e-9 {
+			t.Errorf("%s MPI fraction = %v, want %v", m.Name(), m.MPIFraction, want)
+		}
+	}
+}
+
+func TestDominantRoutinesMatchPaper(t *testing.T) {
+	// §III-B names the dominant routines per app.
+	top := func(m *Model) mpi.Routine {
+		return m.RoutineMix.Dominant()[0].Routine
+	}
+	if r := top(Find(MiniVite, 128)); r != mpi.Waitall {
+		t.Errorf("miniVite dominant routine = %v, want Waitall", r)
+	}
+	if r := top(Find(UMT, 128)); r != mpi.Allreduce && r != mpi.Wait && r != mpi.Barrier {
+		t.Errorf("UMT dominant routine = %v, want Allreduce/Barrier/Wait", r)
+	}
+	amg := Find(AMG, 128).RoutineMix
+	for _, r := range []mpi.Routine{mpi.Iprobe, mpi.Test, mpi.Testall, mpi.Waitall, mpi.Allreduce} {
+		if amg[r] <= 0 {
+			t.Errorf("AMG routine %v missing from mix", r)
+		}
+	}
+	milc := Find(MILC, 128).RoutineMix
+	for _, r := range []mpi.Routine{mpi.Allreduce, mpi.Wait, mpi.Isend, mpi.Irecv} {
+		if milc[r] <= 0 {
+			t.Errorf("MILC routine %v missing from mix", r)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find(AMG, 512) == nil || Find(MILC, 128) == nil {
+		t.Fatal("Find failed for existing datasets")
+	}
+	if Find(UMT, 512) != nil {
+		t.Fatal("UMT-512 should not exist (paper ran UMT on 128 nodes only)")
+	}
+}
+
+func TestAppString(t *testing.T) {
+	if AMG.String() != "AMG" || MiniVite.String() != "miniVite" {
+		t.Fatal("app names wrong")
+	}
+	if App(42).String() != "App(42)" {
+		t.Fatal("out-of-range app name should be diagnostic")
+	}
+}
+
+func TestMILCWarmupSteps(t *testing.T) {
+	m := Find(MILC, 128)
+	// first 20 steps are much faster warmup trajectories (Fig 3 middle)
+	if m.BaseStep(5) >= m.BaseStep(30) {
+		t.Fatal("MILC warmup steps should be faster than main steps")
+	}
+	if m.VolumeFactor(5) >= m.VolumeFactor(30) {
+		t.Fatal("MILC warmup traffic should be lighter")
+	}
+	if m.BaseStep(20) != m.BaseStep(79) {
+		t.Fatal("main trajectory steps should be flat")
+	}
+}
+
+func TestMiniViteDecreasingSteps(t *testing.T) {
+	m := Find(MiniVite, 128)
+	for s := 1; s < m.Steps; s++ {
+		if m.BaseStep(s) > m.BaseStep(s-1) {
+			t.Fatal("miniVite step times should not increase")
+		}
+	}
+}
+
+func TestUMTIncreasingSteps(t *testing.T) {
+	m := Find(UMT, 128)
+	for s := 1; s < m.Steps; s++ {
+		if m.BaseStep(s) <= m.BaseStep(s-1) {
+			t.Fatal("UMT step times should increase")
+		}
+	}
+}
+
+func TestTotalBaseTimeInPaperRange(t *testing.T) {
+	// §III-B: executions restricted to roughly five to ten minutes
+	for _, m := range Registry() {
+		total := m.TotalBaseTime()
+		if total < 4.5*60 || total > 13*60 {
+			t.Errorf("%s total base time %.0fs outside the 5-10 minute ballpark", m.Name(), total)
+		}
+	}
+}
+
+func TestInstantiateAndStepFlows(t *testing.T) {
+	d := smallMachine(t)
+	m := Find(AMG, 128)
+	nodes := place(t, d, 128)
+	inst, err := m.Instantiate(d, nodes, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := inst.StepFlows(0, nil)
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	var flits, pkts float64
+	for _, f := range flows {
+		flits += f.Flits
+		pkts += f.Packets
+		if f.Flits < 0 || f.Packets < 0 {
+			t.Fatal("negative flow volume")
+		}
+	}
+	if flits <= 0 || pkts <= 0 {
+		t.Fatal("zero traffic")
+	}
+	// AMG: small messages, so messages per byte is high
+	msgSize := flits * mpi.FlitBytes / pkts
+	if msgSize > 2048 {
+		t.Fatalf("AMG effective message size %v bytes, expected small", msgSize)
+	}
+}
+
+func TestInstantiateWrongNodeCount(t *testing.T) {
+	d := smallMachine(t)
+	m := Find(AMG, 128)
+	if _, err := m.Instantiate(d, place(t, d, 64), rng.New(1)); err == nil {
+		t.Fatal("expected node-count mismatch error")
+	}
+}
+
+func TestMILCMessagesAreLarge(t *testing.T) {
+	d := smallMachine(t)
+	amg, err := Find(AMG, 128).Instantiate(d, place(t, d, 128), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	milc, err := Find(MILC, 128).Instantiate(d, place(t, d, 128), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(inst *Instance) float64 {
+		flows := inst.StepFlows(30, nil)
+		var flits, pkts float64
+		for _, f := range flows {
+			flits += f.Flits
+			pkts += f.Packets
+		}
+		return flits / pkts // flits per message
+	}
+	if ratio(milc) < 10*ratio(amg) {
+		t.Fatalf("MILC messages should be much larger than AMG's: milc=%v amg=%v flits/msg",
+			ratio(milc), ratio(amg))
+	}
+}
+
+func TestStepTimeIdleMatchesBase(t *testing.T) {
+	d := smallMachine(t)
+	m := Find(UMT, 128)
+	inst, err := m.Instantiate(d, place(t, d, 128), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(4)
+	res := inst.StepTime(0, 1.0, s)
+	base := m.BaseStep(0)
+	if res.Total < base*0.8 || res.Total > base*1.2 {
+		t.Fatalf("idle step time %v far from base %v", res.Total, base)
+	}
+	// profile total + compute = step total
+	if math.Abs(res.Compute+res.MPI.Total()-res.Total) > 1e-9 {
+		t.Fatal("profile does not account for step time")
+	}
+	// UMT: ~30% MPI on an idle machine
+	frac := res.MPI.Total() / res.Total
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("UMT idle MPI fraction = %v", frac)
+	}
+}
+
+func TestStepTimeContentionHitsMPIOnly(t *testing.T) {
+	d := smallMachine(t)
+	m := Find(MILC, 128)
+	inst, err := m.Instantiate(d, place(t, d, 128), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := inst.StepTime(30, 1.0, rng.New(7))
+	busy := inst.StepTime(30, 2.0, rng.New(7))
+	if busy.MPI.Total() <= idle.MPI.Total()*1.5 {
+		t.Fatalf("2x slowdown should inflate MPI time: idle %v busy %v", idle.MPI.Total(), busy.MPI.Total())
+	}
+	// compute time is unaffected by network contention (no OS noise story)
+	if math.Abs(busy.Compute-idle.Compute) > idle.Compute*0.1 {
+		t.Fatalf("compute time should not react to congestion: %v vs %v", idle.Compute, busy.Compute)
+	}
+}
+
+func TestUMTAmplifiesContention(t *testing.T) {
+	d := smallMachine(t)
+	umt, err := Find(UMT, 128).Instantiate(d, place(t, d, 128), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	milc, err := Find(MILC, 128).Instantiate(d, place(t, d, 128), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(inst *Instance, step int) float64 {
+		idle := inst.StepTime(step, 1.0, rng.New(9))
+		busy := inst.StepTime(step, 1.5, rng.New(9))
+		return busy.MPI.Total() / idle.MPI.Total()
+	}
+	if rel(umt, 0) <= rel(milc, 30) {
+		t.Fatal("UMT's latency-critical collectives should amplify contention more than MILC")
+	}
+}
+
+func TestStepTimeSlowdownBelowOneClamped(t *testing.T) {
+	d := smallMachine(t)
+	inst, err := Find(AMG, 128).Instantiate(d, place(t, d, 128), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := inst.StepTime(0, 0.5, rng.New(5))
+	b := inst.StepTime(0, 1.0, rng.New(5))
+	if math.Abs(a.Total-b.Total) > 1e-9 {
+		t.Fatal("slowdown below 1 should clamp to 1")
+	}
+}
+
+func TestRunFactorVariesAcrossRuns(t *testing.T) {
+	d := smallMachine(t)
+	m := Find(AMG, 128)
+	nodes := place(t, d, 128)
+	i1, _ := m.Instantiate(d, nodes, rng.New(1))
+	i2, _ := m.Instantiate(d, nodes, rng.New(2))
+	if i1.StepDuration(0) == i2.StepDuration(0) {
+		t.Fatal("different runs should have different run factors")
+	}
+}
+
+func TestFactorDims(t *testing.T) {
+	cases := []struct {
+		n, d int
+	}{
+		{8192, 3}, {8192, 4}, {32768, 3}, {32768, 4}, {64, 3}, {60, 4}, {1, 3}, {17, 2},
+	}
+	for _, tc := range cases {
+		dims, err := FactorDims(tc.n, tc.d)
+		if err != nil {
+			t.Fatalf("FactorDims(%d,%d): %v", tc.n, tc.d, err)
+		}
+		prod := 1
+		for _, v := range dims {
+			prod *= v
+		}
+		if prod != tc.n {
+			t.Fatalf("FactorDims(%d,%d) = %v, product %d", tc.n, tc.d, dims, prod)
+		}
+		// descending
+		for i := 1; i < len(dims); i++ {
+			if dims[i] > dims[i-1] {
+				t.Fatalf("dims not sorted: %v", dims)
+			}
+		}
+	}
+	if _, err := FactorDims(0, 3); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestFactorDimsBalancedPowersOfTwo(t *testing.T) {
+	f := func(exp uint8) bool {
+		e := int(exp%14) + 2
+		n := 1 << e
+		dims, err := FactorDims(n, 4)
+		if err != nil {
+			return false
+		}
+		// max/min ratio at most 2x per balanced power-of-two split
+		return dims[0] <= dims[3]*4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternSpansGroupsWhenPlacementDoes(t *testing.T) {
+	d := smallMachine(t)
+	m := Find(MiniVite, 128)
+	nodes := place(t, d, 128) // contiguous KNL nodes span multiple groups on Small
+	inst, err := m.Instantiate(d, nodes, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[topology.GroupID]bool{}
+	for _, f := range inst.StepFlows(0, nil) {
+		groups[d.Group(f.Src)] = true
+	}
+	if len(groups) < 2 {
+		t.Fatal("placement spans groups but traffic does not")
+	}
+}

@@ -1,0 +1,500 @@
+// Package cluster ties the machine together: it builds the dragonfly
+// network, generates the production background (package slurm), schedules
+// the controlled experiments of §III (1–2 jobs per application per node
+// count per day, submitted under User-8), simulates every run step by step
+// against the concurrently running jobs, and records the datasets — per-step
+// execution times, AriesNCL counter deltas for the job's own routers,
+// LDMS-style io/sys features, placement features, and the run neighborhood.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dragonvar/internal/apps"
+	"dragonvar/internal/counters"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/mpi"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/slurm"
+	"dragonvar/internal/topology"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	Machine topology.Config // defaults to topology.Cori()
+	Net     netsim.Config   // defaults to netsim.DefaultConfig()
+	Days    float64         // campaign length; the paper ran ~130 days
+	Seed    int64
+	Models  []*apps.Model // defaults to apps.Registry()
+	Users   []*slurm.User // defaults to slurm.Roster()
+
+	// MeanRunsPerDay is the per-dataset submission rate (paper: 1–2/day).
+	MeanRunsPerDay float64
+	// CounterNoise is the relative measurement noise applied to recorded
+	// counter deltas. Default 0.04: per-step counter reads are noisy
+	// estimates of congestion, so longer histories (larger m) average
+	// toward the true level — the §V-C temporal-context effect.
+	CounterNoise float64
+	// Progress, when non-nil, receives (completed, total) after each run.
+	Progress func(done, total int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine.Groups == 0 {
+		c.Machine = topology.Cori()
+	}
+	if c.Net.LinkBandwidth == 0 {
+		c.Net = netsim.DefaultConfig()
+	}
+	if c.Days <= 0 {
+		c.Days = 130
+	}
+	if c.Models == nil {
+		c.Models = apps.Registry()
+	}
+	if c.Users == nil {
+		c.Users = slurm.Roster()
+	}
+	if c.MeanRunsPerDay <= 0 {
+		c.MeanRunsPerDay = 1.65
+	}
+	if c.CounterNoise == 0 {
+		c.CounterNoise = 0.04
+	}
+	return c
+}
+
+// Cluster is a wired machine with its background workload, ready to run
+// controlled experiments.
+type Cluster struct {
+	cfg      Config
+	Topo     *topology.Dragonfly
+	Net      *netsim.Network
+	Timeline *slurm.Timeline
+
+	root       *rng.Stream
+	sysRouters []topology.RouterID // scratch, reused per run
+}
+
+// New builds the machine and generates the background timeline.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	topo, err := topology.New(cfg.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	root := rng.New(cfg.Seed)
+	net := netsim.New(topo, cfg.Net, root.Split("netsim"))
+	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users}, root.Split("timeline"))
+	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, root: root}, nil
+}
+
+// plan is one scheduled controlled run.
+type plan struct {
+	model  *apps.Model
+	day    int
+	start  float64
+	estEnd float64
+	nodes  []topology.NodeID
+	// approximate unit footprint (flits/s) used when this run appears in
+	// the background of another of our runs
+	footprint *netsim.LoadSet
+}
+
+// RunCampaign schedules and simulates the full controlled experiment
+// campaign and returns the datasets.
+func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
+	cfg := c.cfg
+	plans, err := c.schedule()
+	if err != nil {
+		return nil, err
+	}
+
+	camp := &dataset.Campaign{Seed: cfg.Seed, Days: cfg.Days}
+	byName := map[string]*dataset.Dataset{}
+	for _, m := range cfg.Models {
+		ds := &dataset.Dataset{Name: m.Name(), App: m.App.String(), Nodes: m.Nodes}
+		byName[m.Name()] = ds
+		camp.Datasets = append(camp.Datasets, ds)
+	}
+
+	for i, p := range plans {
+		run, err := c.simulate(p, plans, i)
+		if err != nil {
+			return nil, err
+		}
+		run.RunID = i
+		byName[p.model.Name()].Runs = append(byName[p.model.Name()].Runs, run)
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(plans))
+		}
+	}
+	return camp, nil
+}
+
+// schedule decides submission times and placements for every controlled
+// run, avoiding both background jobs and our own overlapping runs.
+func (c *Cluster) schedule() ([]*plan, error) {
+	cfg := c.cfg
+	s := c.root.Split("schedule")
+	var plans []*plan
+	for day := 0; day < int(cfg.Days); day++ {
+		for _, m := range cfg.Models {
+			count := 1
+			if s.Float64() < cfg.MeanRunsPerDay-1 {
+				count = 2
+			}
+			for i := 0; i < count; i++ {
+				// submissions go out in daily batches (the paper submitted
+				// from a script), so controlled runs naturally cluster and
+				// sometimes overlap each other — the User-8 effect
+				batch := []float64{9 * 3600, 15 * 3600}
+				submit := float64(day)*86400 + batch[s.Intn(len(batch))] + s.Uniform(0, 1800)
+				wait := s.Exp(3600) // queue wait decided by the scheduler
+				start := submit + wait
+				est := m.TotalBaseTime() * 1.8
+				if start+est > c.Timeline.Horizon() {
+					continue
+				}
+				plans = append(plans, &plan{model: m, day: day, start: start, estEnd: start + est})
+			}
+		}
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].start < plans[j].start })
+
+	// place in start order; when the machine is full, the job waits in the
+	// queue and retries later (like a real submission would)
+	haswell := c.Topo.ComputeNodes(topology.Haswell)
+	for i, p := range plans {
+		est := p.estEnd - p.start
+		for try := 0; try < 6; try++ {
+			busy := c.Timeline.BusyNodesAt(p.start, p.estEnd)
+			// our jobs run on KNL nodes only (§II-A)
+			for _, n := range haswell {
+				busy[n] = true
+			}
+			for j := 0; j < i; j++ {
+				q := plans[j]
+				if q.nodes != nil && q.start < p.estEnd && q.estEnd > p.start {
+					for _, n := range q.nodes {
+						busy[n] = true
+					}
+				}
+			}
+			alloc := slurm.NewAllocator(c.Topo)
+			compact := s.Uniform(0.05, 0.95)
+			p.nodes = alloc.AllocAvoiding(p.model.Nodes, compact, busy, s)
+			if p.nodes != nil {
+				break
+			}
+			p.start += s.Uniform(1800, 7200)
+			p.estEnd = p.start + est
+			if p.estEnd > c.Timeline.Horizon() {
+				break
+			}
+		}
+		if p.nodes == nil {
+			continue // gave up on this submission
+		}
+		p.footprint = c.planFootprint(p)
+	}
+	// drop unplaced plans
+	placed := plans[:0]
+	for _, p := range plans {
+		if p.nodes != nil {
+			placed = append(placed, p)
+		}
+	}
+	return placed, nil
+}
+
+// planFootprint builds the unit (per-second) footprint used when this run
+// is background for another of our runs.
+func (c *Cluster) planFootprint(p *plan) *netsim.LoadSet {
+	inst, err := p.model.Instantiate(c.Topo, p.nodes, rng.New(1))
+	if err != nil {
+		return nil
+	}
+	// average step volume over the run, converted to per-second rates
+	total := p.model.TotalBaseTime()
+	var flows []netsim.Flow
+	flows = inst.StepFlows(p.model.Steps/2, flows)
+	scale := 1.0
+	if total > 0 {
+		scale = float64(p.model.Steps) / total // steps per second
+	}
+	for i := range flows {
+		flows[i].Flits *= scale
+		flows[i].Packets *= scale
+	}
+	return c.Net.BuildLoadSet(flows)
+}
+
+// simulate runs one controlled experiment step by step.
+func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, error) {
+	cfg := c.cfg
+	runStream := c.root.Split(fmt.Sprintf("run-%d", self))
+	inst, err := p.model.Instantiate(c.Topo, p.nodes, runStream.Split("inst"))
+	if err != nil {
+		return nil, err
+	}
+	mine := inst.Routers()
+	nr, ng := slurm.PlacementFeatures(c.Topo, p.nodes)
+
+	run := &dataset.Run{
+		Dataset:    p.model.Name(),
+		Start:      p.start,
+		Day:        p.day,
+		NumRouters: nr,
+		NumGroups:  ng,
+	}
+
+	// sys routers: every router not directly connected to our job
+	mineSet := map[topology.RouterID]bool{}
+	for _, r := range mine {
+		mineSet[r] = true
+	}
+	c.sysRouters = c.sysRouters[:0]
+	for r := 0; r < c.Topo.Cfg.NumRouters(); r++ {
+		if !mineSet[topology.RouterID(r)] {
+			c.sysRouters = append(c.sysRouters, topology.RouterID(r))
+		}
+	}
+	ioRouters := c.Topo.IORouters()
+
+	// background candidates for the whole run window
+	bgJobs := c.Timeline.Overlapping(p.start, p.estEnd)
+	var ownBg []*plan
+	for j, q := range plans {
+		if j != self && q.nodes != nil && q.footprint != nil &&
+			q.start < p.estEnd && q.estEnd > p.start {
+			ownBg = append(ownBg, q)
+		}
+	}
+
+	noise := runStream.Split("counter-noise")
+	t := p.start
+	var flows []netsim.Flow
+	var scaled []netsim.ScaledLoad
+	before := counters.NewBoard(c.Topo.Cfg.NumRouters())
+	// the flow pair list is fixed for the whole run; resolve routes once
+	flows = inst.StepFlows(0, flows[:0])
+	routed := c.Net.Resolve(flows)
+	for step := 0; step < p.model.Steps; step++ {
+		dur := inst.StepDuration(step)
+		flows = inst.StepFlows(step, flows[:0])
+
+		scaled = scaled[:0]
+		for _, j := range bgJobs {
+			if j.Overlaps(t, t+dur) {
+				if sl := j.ScaledLoadAt(t, dur); sl.Scale > 0 {
+					scaled = append(scaled, sl)
+				}
+			}
+		}
+		for _, q := range ownBg {
+			if q.start < t+dur && q.estEnd > t {
+				scaled = append(scaled, netsim.ScaledLoad{Set: q.footprint, Scale: dur})
+			}
+		}
+
+		c.Net.Board.SnapshotInto(before)
+		res := c.Net.RunRoundRouted(flows, routed, scaled, dur)
+
+		// volume-weighted slowdown over our flows
+		var wsum, w float64
+		for i, f := range flows {
+			wsum += res.Slowdown[i] * f.Flits
+			w += f.Flits
+		}
+		slowdown := 1.0
+		if w > 0 {
+			slowdown = wsum / w
+		}
+		stepRes := inst.StepTime(step, slowdown, runStream)
+
+		// record observations with measurement noise
+		delta := c.Net.Board.DeltaSum(before, mine)
+		var rec [counters.NumJob]float64
+		for ci := 0; ci < counters.NumJob; ci++ {
+			rec[ci] = delta[ci] * (1 + cfg.CounterNoise*noise.NormFloat64())
+		}
+		io := c.Net.Board.LDMSSample(before, ioRouters)
+		sys := c.Net.Board.LDMSSample(before, c.sysRouters)
+		for i := range io {
+			io[i] *= 1 + cfg.CounterNoise*noise.NormFloat64()
+			sys[i] *= 1 + cfg.CounterNoise*noise.NormFloat64()
+		}
+
+		run.StepTimes = append(run.StepTimes, stepRes.Total)
+		run.Compute = append(run.Compute, stepRes.Compute)
+		run.Counters = append(run.Counters, rec)
+		run.IO = append(run.IO, io)
+		run.Sys = append(run.Sys, sys)
+		run.Profile.Add(&stepRes.MPI)
+
+		t += stepRes.Total
+	}
+
+	// neighborhood: background users plus our own overlapping runs (User-8)
+	run.Neighbors = c.neighbors(p, plans, self, t)
+	return run, nil
+}
+
+// neighbors lists every user with a job overlapping the run's actual
+// execution window, with the largest overlapping job size.
+func (c *Cluster) neighbors(p *plan, plans []*plan, self int, end float64) []dataset.NeighborJob {
+	maxNodes := map[string]int{}
+	for _, j := range c.Timeline.Overlapping(p.start, end) {
+		name := j.User.Name()
+		if len(j.Nodes) > maxNodes[name] {
+			maxNodes[name] = len(j.Nodes)
+		}
+	}
+	selfName := fmt.Sprintf("User-%d", slurm.SelfUserID)
+	for j, q := range plans {
+		if j == self || q.nodes == nil {
+			continue
+		}
+		if q.start < end && q.estEnd > p.start {
+			if len(q.nodes) > maxNodes[selfName] {
+				maxNodes[selfName] = len(q.nodes)
+			}
+		}
+	}
+	var names []string
+	for name := range maxNodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]dataset.NeighborJob, 0, len(names))
+	for _, name := range names {
+		out = append(out, dataset.NeighborJob{User: name, MaxNodes: maxNodes[name]})
+	}
+	return out
+}
+
+// SimulateAt simulates a single job of the given model (with an overridden
+// step count when steps > 0) against the background timeline only,
+// starting at or near the given campaign time. compactLo/compactHi bound
+// the allocation compactness drawn for the placement. When the machine is
+// full, the job waits in the queue and retries, like any production
+// submission.
+func (c *Cluster) SimulateAt(model *apps.Model, steps int, start, compactLo, compactHi float64, seed int64) (*dataset.Run, error) {
+	job := *model
+	if steps > 0 {
+		job.Steps = steps
+	}
+	p := &plan{model: &job, start: start, estEnd: start + job.TotalBaseTime()*1.8}
+	s := rng.New(seed)
+	est := p.estEnd - p.start
+	for try := 0; try < 64 && p.nodes == nil; try++ {
+		busy := c.Timeline.BusyNodesAt(p.start, p.estEnd)
+		for _, n := range c.Topo.ComputeNodes(topology.Haswell) {
+			busy[n] = true
+		}
+		alloc := slurm.NewAllocator(c.Topo)
+		p.nodes = alloc.AllocAvoiding(job.Nodes, s.Uniform(compactLo, compactHi), busy, s)
+		if p.nodes == nil {
+			// queue wait, like any production submission
+			p.start += s.Uniform(1800, 7200)
+			p.estEnd = p.start + est
+		}
+	}
+	if p.nodes == nil {
+		return nil, fmt.Errorf("cluster: no room for %s near t=%v", job.Name(), start)
+	}
+	return c.simulate(p, nil, -1)
+}
+
+// SimulateLongRun simulates a single long-running job of the given model
+// with an overridden step count — the paper's 620-step MILC run of Figure
+// 12. The placement is deliberately fragmented (a production backfill
+// allocation), so the run samples the system's congestion state.
+func (c *Cluster) SimulateLongRun(model *apps.Model, steps int, start float64, seed int64) (*dataset.Run, error) {
+	return c.SimulateAt(model, steps, start, 0.05, 0.3, seed)
+}
+
+// WhatIfPlacement is the outcome of a placement what-if experiment: the
+// same job, same submission time, same background — placed compactly
+// versus fragmented across the machine.
+type WhatIfPlacement struct {
+	Compact, Fragmented *dataset.Run
+}
+
+// CompactSpeedup is the fragmented-to-compact total-time ratio (> 1 means
+// the compact placement ran faster).
+func (w WhatIfPlacement) CompactSpeedup() float64 {
+	ct := w.Compact.TotalTime()
+	if ct <= 0 {
+		return 0
+	}
+	return w.Fragmented.TotalTime() / ct
+}
+
+// PlacementWhatIf runs the placement experiment the paper's future work
+// motivates (and the related simulation study of Yang et al. explored):
+// simulate the same job twice at the same time against the same
+// background, once with a compact allocation (few groups and routers) and
+// once fragmented across the machine.
+func (c *Cluster) PlacementWhatIf(model *apps.Model, steps int, start float64, seed int64) (WhatIfPlacement, error) {
+	compact, err := c.SimulateAt(model, steps, start, 0.9, 0.99, seed)
+	if err != nil {
+		return WhatIfPlacement{}, err
+	}
+	frag, err := c.SimulateAt(model, steps, start, 0.01, 0.1, seed)
+	if err != nil {
+		return WhatIfPlacement{}, err
+	}
+	return WhatIfPlacement{Compact: compact, Fragmented: frag}, nil
+}
+
+// MeanStepProfile aggregates a dataset's per-run MPI profiles into best /
+// average / worst rows, the shape of Figures 4 and 5.
+type ProfileSummary struct {
+	BestCompute, BestMPI   float64
+	AvgCompute, AvgMPI     float64
+	WorstCompute, WorstMPI float64
+	Best, Avg, Worst       mpi.Profile
+}
+
+// SummarizeProfiles computes the Figure 4/5 decomposition for a dataset:
+// the run with the lowest total time is "best", highest is "worst", and
+// the routine-level mean over all runs is "average".
+func SummarizeProfiles(ds *dataset.Dataset) ProfileSummary {
+	var out ProfileSummary
+	if len(ds.Runs) == 0 {
+		return out
+	}
+	bestIdx, worstIdx := 0, 0
+	bestT, worstT := math.Inf(1), math.Inf(-1)
+	for i, r := range ds.Runs {
+		t := r.TotalTime()
+		if t < bestT {
+			bestT, bestIdx = t, i
+		}
+		if t > worstT {
+			worstT, worstIdx = t, i
+		}
+	}
+	best, worst := ds.Runs[bestIdx], ds.Runs[worstIdx]
+	out.Best = best.Profile
+	out.Worst = worst.Profile
+	out.BestCompute, out.BestMPI = best.TotalCompute(), best.Profile.Total()
+	out.WorstCompute, out.WorstMPI = worst.TotalCompute(), worst.Profile.Total()
+	for _, r := range ds.Runs {
+		out.AvgCompute += r.TotalCompute()
+		p := r.Profile
+		out.Avg.Add(&p)
+	}
+	n := float64(len(ds.Runs))
+	out.AvgCompute /= n
+	for i := range out.Avg {
+		out.Avg[i] /= n
+	}
+	out.AvgMPI = out.Avg.Total()
+	return out
+}

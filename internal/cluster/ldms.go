@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dragonvar/internal/counters"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/traceio"
+)
+
+// ldmsSources are the per-router counters the system-wide monitor samples,
+// matching the LDMS feature definitions of §III-C / §V-C.
+var ldmsSources = [4]counters.Index{
+	counters.RTFlitTot, counters.RTRBStl, counters.PTFlitTot, counters.PTPktTot,
+}
+
+// LDMSSeriesPerRouter is the number of counter series recorded per router.
+const LDMSSeriesPerRouter = len(ldmsSources)
+
+// RecordLDMS replays the background timeline over [t0, t1) at the given
+// sampling interval and streams system-wide counter samples — four series
+// per router — to the writer, mimicking the LDMS pipeline that sampled
+// every Aries router on Cori once per second (§III-C). Values are the
+// cumulative hardware counters, which the log's delta encoding compresses
+// well. Returns the number of samples written.
+//
+// The replay drives the same network simulator the campaign uses, so the
+// recorded stream is consistent with what instrumented runs would have
+// observed over the same period.
+func (c *Cluster) RecordLDMS(w *traceio.Writer, t0, t1, interval float64) (int, error) {
+	if interval <= 0 {
+		return 0, fmt.Errorf("cluster: non-positive sampling interval")
+	}
+	if t1 <= t0 {
+		return 0, fmt.Errorf("cluster: empty recording window [%v, %v)", t0, t1)
+	}
+	nr := c.Topo.Cfg.NumRouters()
+	values := make([]float64, nr*LDMSSeriesPerRouter)
+	samples := 0
+
+	jobs := c.Timeline.Overlapping(t0, t1)
+	var scaled []netsim.ScaledLoad
+	for t := t0; t < t1; t += interval {
+		scaled = scaled[:0]
+		for _, j := range jobs {
+			if j.Overlaps(t, t+interval) {
+				if sl := j.ScaledLoadAt(t, interval); sl.Scale > 0 {
+					scaled = append(scaled, sl)
+				}
+			}
+		}
+		c.Net.RunRound(nil, scaled, interval)
+		for r := 0; r < nr; r++ {
+			rc := &c.Net.Board.PerRouter[r]
+			base := r * LDMSSeriesPerRouter
+			for k, src := range ldmsSources {
+				values[base+k] = rc[src]
+			}
+		}
+		if err := w.WriteSample(t, values); err != nil {
+			return samples, err
+		}
+		samples++
+	}
+	return samples, w.Flush()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/dataset"
+)
+
+// PerfPoint is one run of Figure 1: campaign day versus performance
+// relative to the dataset's best observed run (1.0 = best, 3.0 = 3× slower).
+type PerfPoint struct {
+	Day      int
+	Relative float64
+}
+
+// RelativePerformance produces the Figure 1 series for one dataset.
+func RelativePerformance(ds *dataset.Dataset) []PerfPoint {
+	best := ds.BestTotalTime()
+	if best <= 0 {
+		return nil
+	}
+	out := make([]PerfPoint, len(ds.Runs))
+	for i, r := range ds.Runs {
+		out[i] = PerfPoint{Day: r.Day, Relative: r.TotalTime() / best}
+	}
+	return out
+}
+
+// MaxRelative returns the worst relative performance in a Figure 1 series
+// (the paper's "up to 3× slower" headline).
+func MaxRelative(points []PerfPoint) float64 {
+	var m float64
+	for _, p := range points {
+		if p.Relative > m {
+			m = p.Relative
+		}
+	}
+	return m
+}
+
+// CampaignConfig couples the cluster configuration with a cache path so
+// every consumer (CLI, benches, examples) shares one generated campaign.
+type CampaignConfig struct {
+	Cluster   cluster.Config
+	CachePath string // optional gob cache
+}
+
+// LoadOrGenerate returns the campaign from the cache when present (and
+// matching seed/days), generating and caching it otherwise.
+func LoadOrGenerate(cfg CampaignConfig) (*dataset.Campaign, error) {
+	if cfg.Cluster.Days <= 0 {
+		cfg.Cluster.Days = 130 // keep the cache check consistent with cluster defaults
+	}
+	if cfg.CachePath != "" {
+		if camp, err := dataset.Load(cfg.CachePath); err == nil {
+			if camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days {
+				return camp, nil
+			}
+			fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v; regenerating\n",
+				cfg.CachePath, camp.Seed, camp.Days)
+		}
+	}
+	c, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := c.RunCampaign()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CachePath != "" {
+		if err := camp.Save(cfg.CachePath); err != nil {
+			fmt.Fprintf(os.Stderr, "core: could not cache campaign: %v\n", err)
+		}
+	}
+	return camp, nil
+}

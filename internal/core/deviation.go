@@ -1,0 +1,114 @@
+package core
+
+import (
+	"dragonvar/internal/counters"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/gbr"
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rfe"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/stats"
+	"dragonvar/internal/tree"
+)
+
+// DeviationOptions parameterizes the per-step deviation analysis of §IV-B.
+type DeviationOptions struct {
+	// Folds is the cross-validation fold count (paper: 10).
+	Folds int
+	// MaxSamples caps the (run, step) sample count fed to RFE; the full
+	// N·T set is subsampled deterministically beyond it. 0 = no cap.
+	MaxSamples int
+	// GBR overrides the boosted-model hyperparameters; zero value uses
+	// defaults tuned for the campaign datasets.
+	GBR gbr.Options
+}
+
+func (o DeviationOptions) withDefaults() DeviationOptions {
+	if o.Folds <= 0 {
+		o.Folds = 10
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 3000
+	}
+	if o.GBR.NumTrees == 0 {
+		o.GBR = gbr.Options{NumTrees: 40, LearningRate: 0.1, Subsample: 0.7,
+			Tree: tree.Options{MaxDepth: 3, MinSamplesLeaf: 8}}
+	}
+	return o
+}
+
+// DeviationResult is one dataset's outcome: the relevance score of each of
+// the 13 counters in predicting deviation from mean behaviour (one group
+// of bars in Figure 9), and the out-of-fold MAPE of the full model on
+// absolute step times (§V-B reports < 5%).
+type DeviationResult struct {
+	Dataset      string
+	FeatureNames []string
+	Relevance    []float64
+	MAPE         float64
+	Samples      int
+}
+
+// AnalyzeDeviation runs the GBR + RFE pipeline on one dataset.
+func AnalyzeDeviation(ds *dataset.Dataset, opt DeviationOptions, seed int64) DeviationResult {
+	opt = opt.withDefaults()
+	names := make([]string, counters.NumJob)
+	for i := 0; i < counters.NumJob; i++ {
+		names[i] = counters.Table[i].Abbrev
+	}
+	if len(ds.Runs) == 0 || ds.Steps() == 0 {
+		// nothing to analyze: MAPE -1 is the "no data" sentinel
+		return DeviationResult{Dataset: ds.Name, FeatureNames: names,
+			Relevance: make([]float64, counters.NumJob), MAPE: -1}
+	}
+	x, y, stepMean := ds.DeviationSamples()
+	t := ds.Steps()
+
+	s := rng.NewLabeled(seed, "deviation-"+ds.Name)
+	// deterministic subsample of the (run, step) samples
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	if opt.MaxSamples > 0 && len(idx) > opt.MaxSamples {
+		s.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:opt.MaxSamples]
+	}
+	xs := linalg.NewMatrix(len(idx), x.Cols)
+	ys := make([]float64, len(idx))
+	for k, i := range idx {
+		copy(xs.Row(k), x.Row(i))
+		ys[k] = y[i]
+	}
+
+	res := rfe.Run(xs, ys, rfe.Options{Folds: opt.Folds, GBR: opt.GBR}, s.Split("rfe"))
+
+	// MAPE on reconstructed absolute step times: prediction = deviation
+	// prediction + the step's mean trend
+	pred := make([]float64, len(idx))
+	obs := make([]float64, len(idx))
+	for k, i := range idx {
+		step := i % t
+		pred[k] = res.OOFPred[k] + stepMean[step]
+		obs[k] = y[i] + stepMean[step]
+	}
+
+	return DeviationResult{
+		Dataset:      ds.Name,
+		FeatureNames: names,
+		Relevance:    res.Relevance,
+		MAPE:         stats.MAPE(pred, obs),
+		Samples:      len(idx),
+	}
+}
+
+// TopCounter returns the name of the most relevant counter.
+func (r DeviationResult) TopCounter() string {
+	best := 0
+	for i := 1; i < len(r.Relevance); i++ {
+		if r.Relevance[i] > r.Relevance[best] {
+			best = i
+		}
+	}
+	return r.FeatureNames[best]
+}

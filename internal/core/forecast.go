@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"dragonvar/internal/counters"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/nn"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/stats"
+)
+
+// ForecastSpec names one forecasting experiment: predict the total time of
+// the next K steps from the features of the last M steps, using the given
+// feature groups (the legends of Figures 8 and 10).
+type ForecastSpec struct {
+	M, K     int
+	Features counters.FeatureSet
+}
+
+// String renders "m=30 k=40 app + placement + io".
+func (s ForecastSpec) String() string {
+	return fmt.Sprintf("m=%d k=%d %s", s.M, s.K, s.Features)
+}
+
+// ForecastOptions parameterizes training and evaluation.
+type ForecastOptions struct {
+	Folds int       // cross-validation folds over runs; default 4
+	NN    nn.Config // zero value uses campaign-tuned defaults
+}
+
+func (o ForecastOptions) withDefaults() ForecastOptions {
+	if o.Folds <= 0 {
+		o.Folds = 4
+	}
+	if o.NN.Epochs == 0 {
+		o.NN = nn.Config{
+			EmbedDim:     8,
+			HiddenDim:    16,
+			Epochs:       35,
+			BatchSize:    16,
+			LearningRate: 0.01,
+			UseAttention: true,
+			MaxSamples:   1200,
+		}
+	}
+	return o
+}
+
+// ForecastResult is the cross-validated error of one spec on one dataset
+// — one bar of Figure 8 or 10.
+type ForecastResult struct {
+	Dataset string
+	Spec    ForecastSpec
+	MAPE    float64
+	Windows int
+}
+
+// Forecast trains and evaluates the attention forecaster with
+// cross-validation over runs: windows of held-out runs are never seen in
+// training, mirroring the paper's splits.
+func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) ForecastResult {
+	opt = opt.withDefaults()
+	s := rng.NewLabeled(seed, "forecast-"+ds.Name+"-"+spec.String())
+	windows := ds.BuildWindows(spec.Features, spec.M, spec.K)
+	if len(windows) == 0 {
+		return ForecastResult{Dataset: ds.Name, Spec: spec, MAPE: -1}
+	}
+
+	// group windows by run for run-level folds
+	byRun := map[int][]nn.Sample{}
+	for _, w := range windows {
+		byRun[w.RunIdx] = append(byRun[w.RunIdx], nn.Sample{Steps: w.Steps, Target: w.Target})
+	}
+	runIdxs := make([]int, 0, len(byRun))
+	for ri := range byRun {
+		runIdxs = append(runIdxs, ri)
+	}
+	// map iteration order must not matter: sort
+	for i := 1; i < len(runIdxs); i++ {
+		for j := i; j > 0 && runIdxs[j] < runIdxs[j-1]; j-- {
+			runIdxs[j], runIdxs[j-1] = runIdxs[j-1], runIdxs[j]
+		}
+	}
+
+	var mapeSum float64
+	var folds int
+	dataset.KFold(len(runIdxs), opt.Folds, s.Split("folds"), func(fold int, train, test []int) {
+		var trainSamples, testSamples []nn.Sample
+		for _, i := range train {
+			trainSamples = append(trainSamples, byRun[runIdxs[i]]...)
+		}
+		for _, i := range test {
+			testSamples = append(testSamples, byRun[runIdxs[i]]...)
+		}
+		if len(trainSamples) == 0 || len(testSamples) == 0 {
+			return
+		}
+		model := nn.Train(trainSamples, opt.NN, s.Split(fmt.Sprintf("fold-%d", fold)))
+		mapeSum += model.MAPE(testSamples)
+		folds++
+	})
+	res := ForecastResult{Dataset: ds.Name, Spec: spec, Windows: len(windows)}
+	if folds > 0 {
+		res.MAPE = mapeSum / float64(folds)
+	}
+	return res
+}
+
+// ForecastImportances trains one model on 3/4 of the runs and returns
+// permutation importances on the held-out quarter — one group of bars of
+// Figure 11. The returned names parallel the importance values.
+func ForecastImportances(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) (names []string, importance []float64) {
+	opt = opt.withDefaults()
+	s := rng.NewLabeled(seed, "fimp-"+ds.Name+"-"+spec.String())
+	windows := ds.BuildWindows(spec.Features, spec.M, spec.K)
+	if len(windows) == 0 {
+		return spec.Features.Names(), nil
+	}
+	nRuns := len(ds.Runs)
+	cut := nRuns * 3 / 4
+	perm := s.Split("runsplit").Perm(nRuns)
+	trainRun := map[int]bool{}
+	for _, ri := range perm[:cut] {
+		trainRun[ri] = true
+	}
+	var train, test []nn.Sample
+	for _, w := range windows {
+		smp := nn.Sample{Steps: w.Steps, Target: w.Target}
+		if trainRun[w.RunIdx] {
+			train = append(train, smp)
+		} else {
+			test = append(test, smp)
+		}
+	}
+	if len(train) == 0 || len(test) == 0 {
+		return spec.Features.Names(), nil
+	}
+	model := nn.Train(train, opt.NN, s.Split("train"))
+	return spec.Features.Names(), model.PermutationImportance(test, s.Split("perm"))
+}
+
+// SegmentForecast is one point of Figure 12: a 40-step segment of a long
+// run with its observed and predicted total time.
+type SegmentForecast struct {
+	StartStep int
+	Observed  float64
+	Predicted float64
+}
+
+// ForecastLongRun trains a forecaster on the campaign dataset (none of the
+// long run's data) and predicts the long run segment by segment: each
+// segment of spec.K steps is predicted from the spec.M steps before it.
+func ForecastLongRun(trainDS *dataset.Dataset, longRun *dataset.Run, spec ForecastSpec, opt ForecastOptions, seed int64) []SegmentForecast {
+	opt = opt.withDefaults()
+	s := rng.NewLabeled(seed, "flong-"+trainDS.Name)
+	windows := trainDS.BuildWindows(spec.Features, spec.M, spec.K)
+	train := make([]nn.Sample, len(windows))
+	for i, w := range windows {
+		train[i] = nn.Sample{Steps: w.Steps, Target: w.Target}
+	}
+	model := nn.Train(train, opt.NN, s.Split("train"))
+
+	var out []SegmentForecast
+	for start := spec.M; start+spec.K <= longRun.Steps(); start += spec.K {
+		steps := make([][]float64, spec.M)
+		for i := 0; i < spec.M; i++ {
+			steps[i] = longRun.FeatureVector(start-spec.M+i, spec.Features, nil)
+		}
+		var obs float64
+		for i := start; i < start+spec.K; i++ {
+			obs += longRun.StepTimes[i]
+		}
+		out = append(out, SegmentForecast{
+			StartStep: start,
+			Observed:  obs,
+			Predicted: model.Predict(steps),
+		})
+	}
+	return out
+}
+
+// SegmentMAPE summarizes a long-run forecast series.
+func SegmentMAPE(segs []SegmentForecast) float64 {
+	pred := make([]float64, len(segs))
+	obs := make([]float64, len(segs))
+	for i, sg := range segs {
+		pred[i] = sg.Predicted
+		obs[i] = sg.Observed
+	}
+	return stats.MAPE(pred, obs)
+}

@@ -1,0 +1,155 @@
+// Package core implements the paper's analysis methodology (§IV) on top of
+// the campaign datasets: the mutual-information neighborhood analysis that
+// assigns blame for slowdowns to concurrently running users (Table III),
+// the GBR+RFE deviation models that rank hardware counters by their power
+// to predict per-step deviations from mean behaviour (Figure 9), and the
+// attention-based forecaster that predicts the aggregate time of future
+// steps (Figures 8, 10, 11, 12).
+package core
+
+import (
+	"sort"
+
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/stats"
+)
+
+// UserScore is one user's dependence on a dataset's run optimality.
+type UserScore struct {
+	User    string
+	MI      float64 // mutual information with optimality (nats)
+	Present int     // number of runs the user overlapped
+}
+
+// NeighborhoodResult ranks a dataset's neighbors by mutual information.
+type NeighborhoodResult struct {
+	Dataset string
+	Runs    int
+	Optimal int // runs marked optimal at the given τ
+	Users   []UserScore
+}
+
+// NeighborhoodOptions parameterizes the analysis of §IV-A.
+type NeighborhoodOptions struct {
+	// MinNodes qualifies a neighbor: only users with at least one
+	// overlapping job of this size are considered (paper: 128).
+	MinNodes int
+	// Tau marks run r optimal when t_r < τ·t_m (paper: τ = 1).
+	Tau float64
+	// TopK bounds each dataset's high-MI list (paper lists have 3–9).
+	TopK int
+}
+
+func (o NeighborhoodOptions) withDefaults() NeighborhoodOptions {
+	if o.MinNodes <= 0 {
+		o.MinNodes = 128
+	}
+	if o.Tau <= 0 {
+		o.Tau = 1
+	}
+	if o.TopK <= 0 {
+		o.TopK = 9
+	}
+	return o
+}
+
+// AnalyzeNeighborhood computes, for one dataset, the mutual information
+// between each qualified user's presence and run optimality, ranked
+// descending.
+func AnalyzeNeighborhood(ds *dataset.Dataset, opt NeighborhoodOptions) NeighborhoodResult {
+	opt = opt.withDefaults()
+	res := NeighborhoodResult{Dataset: ds.Name, Runs: len(ds.Runs)}
+	users, m := ds.Cooccurrence(opt.MinNodes)
+	optimal := ds.Optimality(opt.Tau)
+	for _, v := range optimal {
+		if v {
+			res.Optimal++
+		}
+	}
+	for ui, name := range users {
+		col := make([]bool, len(ds.Runs))
+		present := 0
+		for ri := range ds.Runs {
+			col[ri] = m[ri][ui]
+			if col[ri] {
+				present++
+			}
+		}
+		// a user present in every run (or none) carries no information
+		mi := stats.MutualInformationBinary(col, optimal)
+		res.Users = append(res.Users, UserScore{User: name, MI: mi, Present: present})
+	}
+	sort.Slice(res.Users, func(i, j int) bool {
+		if res.Users[i].MI != res.Users[j].MI {
+			return res.Users[i].MI > res.Users[j].MI
+		}
+		return res.Users[i].User < res.Users[j].User
+	})
+	return res
+}
+
+// TopUsers returns the dataset's high-MI list: the top-K users with
+// strictly positive MI.
+func (r NeighborhoodResult) TopUsers(k int) []string {
+	var out []string
+	for _, u := range r.Users {
+		if len(out) >= k || u.MI <= 0 {
+			break
+		}
+		out = append(out, u.User)
+	}
+	return out
+}
+
+// Table3Row is one row of Table III: the dataset and its highly correlated
+// users (restricted to users appearing in more than one dataset's list).
+type Table3Row struct {
+	Dataset string
+	Nodes   int
+	Users   []string
+}
+
+// Table3 reproduces Table III: per dataset, the high-MI users that appear
+// in at least two datasets' lists. The second return value maps each such
+// user to the number of lists it appears in (the paper's "Users 2, 8 and
+// 11 appear in four lists" observation).
+func Table3(camp *dataset.Campaign, opt NeighborhoodOptions) ([]Table3Row, map[string]int) {
+	opt = opt.withDefaults()
+	lists := make([][]string, len(camp.Datasets))
+	counts := map[string]int{}
+	for i, ds := range camp.Datasets {
+		lists[i] = AnalyzeNeighborhood(ds, opt).TopUsers(opt.TopK)
+		for _, u := range lists[i] {
+			counts[u]++
+		}
+	}
+	recurring := map[string]int{}
+	for u, c := range counts {
+		if c >= 2 {
+			recurring[u] = c
+		}
+	}
+	rows := make([]Table3Row, len(camp.Datasets))
+	for i, ds := range camp.Datasets {
+		rows[i] = Table3Row{Dataset: ds.App, Nodes: ds.Nodes}
+		for _, u := range lists[i] {
+			if recurring[u] > 0 {
+				rows[i].Users = append(rows[i].Users, u)
+			}
+		}
+		sortUsersNumeric(rows[i].Users)
+	}
+	return rows, recurring
+}
+
+// sortUsersNumeric orders "User-<n>" names by n, like the paper's table.
+func sortUsersNumeric(users []string) {
+	num := func(s string) int {
+		n := 0
+		for i := len("User-"); i < len(s); i++ {
+			n = n*10 + int(s[i]-'0')
+		}
+		return n
+	}
+	sort.Slice(users, func(i, j int) bool { return num(users[i]) < num(users[j]) })
+}

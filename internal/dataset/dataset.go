@@ -1,0 +1,368 @@
+// Package dataset holds the output of the controlled-experiment campaign
+// (§III of the paper): per-run, per-time-step execution times and network
+// counters, placement features, LDMS io/sys samples, and the run's
+// neighborhood. It also implements the ML-facing transforms the analyses
+// need — mean-trend removal (§IV-B), sliding forecast windows (§IV-C),
+// cross-validation folds, and the user co-occurrence matrix (§IV-A).
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+
+	"dragonvar/internal/counters"
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/mpi"
+	"dragonvar/internal/rng"
+)
+
+// NeighborJob summarizes one other user's presence during a run.
+type NeighborJob struct {
+	User     string // anonymized user name
+	MaxNodes int    // largest concurrent job size of that user
+}
+
+// Run is one controlled experiment: a single job submission of one
+// application configuration.
+type Run struct {
+	Dataset string  // dataset label, e.g. "MILC-512"
+	RunID   int     // unique within the campaign
+	Start   float64 // campaign-clock start time, seconds
+	Day     int     // campaign day of submission (for Figure 1's x axis)
+
+	// placement features (§III-C)
+	NumRouters int
+	NumGroups  int
+
+	// the run's neighborhood (other users with overlapping jobs)
+	Neighbors []NeighborJob
+
+	// per-step observations; all slices have length Steps()
+	StepTimes []float64                  // wall seconds per step
+	Compute   []float64                  // compute seconds per step
+	Counters  [][counters.NumJob]float64 // AriesNCL per-step deltas
+	IO        [][counters.NumLDMS]float64
+	Sys       [][counters.NumLDMS]float64
+
+	// whole-run mpiP-style profile
+	Profile mpi.Profile
+}
+
+// Steps returns the number of recorded time steps.
+func (r *Run) Steps() int { return len(r.StepTimes) }
+
+// TotalTime returns the run's total execution time.
+func (r *Run) TotalTime() float64 {
+	var s float64
+	for _, v := range r.StepTimes {
+		s += v
+	}
+	return s
+}
+
+// TotalCompute returns the run's total compute (non-MPI) time.
+func (r *Run) TotalCompute() float64 {
+	var s float64
+	for _, v := range r.Compute {
+		s += v
+	}
+	return s
+}
+
+// FeatureVector assembles the model features of one step, in the column
+// order of counters.FeatureSet.Names().
+func (r *Run) FeatureVector(step int, fs counters.FeatureSet, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, 0, fs.Count())
+	}
+	dst = append(dst, r.Counters[step][:]...)
+	if fs.Placement {
+		dst = append(dst, float64(r.NumRouters), float64(r.NumGroups))
+	}
+	if fs.IO {
+		dst = append(dst, r.IO[step][:]...)
+	}
+	if fs.Sys {
+		dst = append(dst, r.Sys[step][:]...)
+	}
+	return dst
+}
+
+// Dataset is all runs of one application configuration — one of the six
+// independent datasets of Table I.
+type Dataset struct {
+	Name  string // "AMG-128", ...
+	App   string
+	Nodes int
+	Runs  []*Run
+}
+
+// Steps returns the per-run step count (all runs share it); 0 if empty.
+func (d *Dataset) Steps() int {
+	if len(d.Runs) == 0 {
+		return 0
+	}
+	return d.Runs[0].Steps()
+}
+
+// BestTotalTime returns the fastest run's total time (the normalizer of
+// Figure 1).
+func (d *Dataset) BestTotalTime() float64 {
+	best := 0.0
+	for i, r := range d.Runs {
+		t := r.TotalTime()
+		if i == 0 || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// MeanTotalTime returns the mean total execution time over runs (the t_m
+// of §IV-A).
+func (d *Dataset) MeanTotalTime() float64 {
+	if len(d.Runs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range d.Runs {
+		s += r.TotalTime()
+	}
+	return s / float64(len(d.Runs))
+}
+
+// MeanStepTimes returns the mean time of each step across runs — the mean
+// trend of Figure 3.
+func (d *Dataset) MeanStepTimes() []float64 {
+	t := d.Steps()
+	out := make([]float64, t)
+	if len(d.Runs) == 0 {
+		return out
+	}
+	for _, r := range d.Runs {
+		for s, v := range r.StepTimes {
+			out[s] += v
+		}
+	}
+	for s := range out {
+		out[s] /= float64(len(d.Runs))
+	}
+	return out
+}
+
+// MeanCounterTrend returns the mean per-step value of one counter across
+// runs (Figure 7's middle and right plots).
+func (d *Dataset) MeanCounterTrend(c counters.Index) []float64 {
+	t := d.Steps()
+	out := make([]float64, t)
+	if len(d.Runs) == 0 {
+		return out
+	}
+	for _, r := range d.Runs {
+		for s := 0; s < t; s++ {
+			out[s] += r.Counters[s][c]
+		}
+	}
+	for s := range out {
+		out[s] /= float64(len(d.Runs))
+	}
+	return out
+}
+
+// Optimality returns the per-run optimality vector of §IV-A: run r is
+// optimal when its total time t_r < τ · t_m (τ = 1 marks below-mean runs
+// as optimal).
+func (d *Dataset) Optimality(tau float64) []bool {
+	tm := d.MeanTotalTime()
+	out := make([]bool, len(d.Runs))
+	for i, r := range d.Runs {
+		out[i] = r.TotalTime() < tau*tm
+	}
+	return out
+}
+
+// Cooccurrence builds the user co-occurrence matrix of §IV-A: the sorted
+// vocabulary of users that had at least one overlapping job of minNodes or
+// more, and per run a binary presence vector over that vocabulary.
+func (d *Dataset) Cooccurrence(minNodes int) (users []string, m [][]bool) {
+	vocab := map[string]bool{}
+	for _, r := range d.Runs {
+		for _, n := range r.Neighbors {
+			if n.MaxNodes >= minNodes {
+				vocab[n.User] = true
+			}
+		}
+	}
+	for u := range vocab {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	idx := map[string]int{}
+	for i, u := range users {
+		idx[u] = i
+	}
+	m = make([][]bool, len(d.Runs))
+	for i, r := range d.Runs {
+		row := make([]bool, len(users))
+		for _, n := range r.Neighbors {
+			if n.MaxNodes >= minNodes {
+				row[idx[n.User]] = true
+			}
+		}
+		m[i] = row
+	}
+	return users, m
+}
+
+// DeviationSamples builds the mean-centered per-step samples of §IV-B:
+// every (run, step) pair is one sample; the features are the counter
+// deltas with the per-step mean trend removed, the target is the step time
+// with its mean trend removed. Returns X of shape (N·T)×H and y of length
+// N·T; stepMean carries the removed trend so callers can reconstruct
+// absolute times.
+func (d *Dataset) DeviationSamples() (x *linalg.Matrix, y []float64, stepMean []float64) {
+	n := len(d.Runs)
+	t := d.Steps()
+	h := counters.NumJob
+	stepMean = d.MeanStepTimes()
+	counterMean := make([][]float64, t)
+	for s := 0; s < t; s++ {
+		counterMean[s] = make([]float64, h)
+	}
+	for _, r := range d.Runs {
+		for s := 0; s < t; s++ {
+			for c := 0; c < h; c++ {
+				counterMean[s][c] += r.Counters[s][c]
+			}
+		}
+	}
+	for s := 0; s < t; s++ {
+		for c := 0; c < h; c++ {
+			counterMean[s][c] /= float64(n)
+		}
+	}
+	x = linalg.NewMatrix(n*t, h)
+	y = make([]float64, n*t)
+	for i, r := range d.Runs {
+		for s := 0; s < t; s++ {
+			row := x.Row(i*t + s)
+			for c := 0; c < h; c++ {
+				row[c] = r.Counters[s][c] - counterMean[s][c]
+			}
+			y[i*t+s] = r.StepTimes[s] - stepMean[s]
+		}
+	}
+	return x, y, stepMean
+}
+
+// Window is one forecasting sample (§IV-C, Figure 6): the features of the
+// last m steps and the total execution time of the next k steps.
+type Window struct {
+	RunIdx int
+	TC     int         // the "current step" t_c
+	Steps  [][]float64 // m rows of per-step features
+	Target float64     // Σ of the next k step times
+}
+
+// BuildWindows slides t_c from m to T−k over every run and returns the
+// samples. fs selects the feature columns.
+func (d *Dataset) BuildWindows(fs counters.FeatureSet, m, k int) []Window {
+	var out []Window
+	t := d.Steps()
+	for ri, r := range d.Runs {
+		for tc := m; tc <= t-k; tc++ {
+			w := Window{RunIdx: ri, TC: tc, Steps: make([][]float64, m)}
+			for i := 0; i < m; i++ {
+				w.Steps[i] = r.FeatureVector(tc-m+i, fs, nil)
+			}
+			for i := tc; i < tc+k; i++ {
+				w.Target += r.StepTimes[i]
+			}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// KFold partitions [0, n) into k shuffled folds; fold i is returned as
+// (test, train) index pairs via the callback.
+func KFold(n, k int, s *rng.Stream, fn func(fold int, train, test []int)) {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := s.Perm(n)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		test := make([]int, 0, hi-lo)
+		train := make([]int, 0, n-(hi-lo))
+		for i, p := range perm {
+			if i >= lo && i < hi {
+				test = append(test, p)
+			} else {
+				train = append(train, p)
+			}
+		}
+		fn(f, train, test)
+	}
+}
+
+// Campaign is the full experiment output: the six datasets plus campaign
+// metadata, as written to disk by the generator and consumed by every
+// analysis and benchmark.
+type Campaign struct {
+	Seed     int64
+	Days     float64
+	Datasets []*Dataset
+}
+
+// Get returns the dataset with the given name, or nil.
+func (c *Campaign) Get(name string) *Dataset {
+	for _, d := range c.Datasets {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// TotalRuns counts all runs across datasets.
+func (c *Campaign) TotalRuns() int {
+	n := 0
+	for _, d := range c.Datasets {
+		n += len(d.Runs)
+	}
+	return n
+}
+
+// Save writes the campaign to a gob file.
+func (c *Campaign) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a campaign from a gob file.
+func Load(path string) (*Campaign, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	var c Campaign
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dragonvar/internal/apps"
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/mpi"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/topology"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *Suite
+)
+
+// testSuite builds one small campaign for the whole package.
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		amg := *apps.Find(apps.AMG, 128)
+		amg.Steps = 10
+		milc := *apps.Find(apps.MILC, 128)
+		milc.Steps = 30
+		vit := *apps.Find(apps.MiniVite, 128)
+		umt := *apps.Find(apps.UMT, 128)
+		cl, err := cluster.New(cluster.Config{
+			Machine:        topology.Small(),
+			Net:            netsim.DefaultConfig(),
+			Days:           8,
+			Seed:           3,
+			Models:         []*apps.Model{&amg, &milc, &vit, &umt},
+			MeanRunsPerDay: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		camp, err := cl.RunCampaign()
+		if err != nil {
+			panic(err)
+		}
+		suiteVal = &Suite{Camp: camp, Clust: cl, Seed: 3, Fast: true}
+	})
+	if suiteVal == nil {
+		t.Fatal("suite construction failed")
+	}
+	return suiteVal
+}
+
+func TestFigure1(t *testing.T) {
+	s := testSuite(t)
+	out, maxima := s.Figure1()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("missing header")
+	}
+	if len(maxima) < 3 {
+		t.Fatalf("maxima for %d datasets", len(maxima))
+	}
+	for name, v := range maxima {
+		if v < 1 {
+			t.Fatalf("%s max relative %v < 1", name, v)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	s := testSuite(t)
+	out := s.Figure2()
+	if !strings.Contains(out, "groups") || !strings.Contains(out, "blue (global) links") {
+		t.Fatalf("census incomplete:\n%s", out)
+	}
+	// without a cluster the figure degrades gracefully
+	empty := &Suite{}
+	if !strings.Contains(empty.Figure2(), "unavailable") {
+		t.Fatal("nil cluster should degrade gracefully")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := (&Suite{}).Table1()
+	for _, want := range []string{"AMG 1.1", "MILC 7.8.0", "miniVite 1.0", "UMT 2.0", "nlpkkt240"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out := (&Suite{}).Table2()
+	for _, want := range []string{"AR_RTR_INQ_PRF_INCOMING_FLIT_TOTAL", "RT_RB_STL", "PT_CB_STL_RQ"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	s := testSuite(t)
+	out, trends := s.Figure3()
+	if !strings.Contains(out, "Figure 3") {
+		t.Fatal("missing header")
+	}
+	milc := trends["MILC-128"]
+	if len(milc) != 30 {
+		t.Fatalf("MILC trend has %d steps", len(milc))
+	}
+	// warmup faster than main trajectories, as in the paper
+	if milc[5] >= milc[25] {
+		t.Fatal("MILC warmup/main structure lost")
+	}
+}
+
+func TestFigures4And5(t *testing.T) {
+	s := testSuite(t)
+	f4 := s.Figure4()
+	// the small campaign has no 512-node runs; the figure must say so
+	if !strings.Contains(f4, "no data") {
+		t.Fatalf("Figure 4 should report missing 512-node data:\n%s", f4)
+	}
+	f5 := s.Figure5()
+	for _, want := range []string{"miniVite-128", "UMT-128", "Waitall", "Allreduce"} {
+		if !strings.Contains(f5, want) {
+			t.Fatalf("Figure 5 missing %q:\n%s", want, f5)
+		}
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	s := testSuite(t)
+	out, corr := s.Figure7()
+	if !strings.Contains(out, "RT_FLIT_TOT") {
+		t.Fatal("missing counter trend")
+	}
+	// Figure 7's claim: counter trends track the time trend
+	if corr["RT_FLIT_TOT"] < 0.3 {
+		t.Fatalf("flit trend does not track time trend: r=%v", corr["RT_FLIT_TOT"])
+	}
+}
+
+func TestTable3(t *testing.T) {
+	s := testSuite(t)
+	out, rows, _ := s.Table3()
+	if !strings.Contains(out, "Table III") {
+		t.Fatal("missing header")
+	}
+	if len(rows) != len(s.Camp.Datasets) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	s := testSuite(t)
+	out, results := s.Figure9()
+	if !strings.Contains(out, "Figure 9") {
+		t.Fatal("missing header")
+	}
+	if len(results) != len(s.Camp.Datasets) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.MAPE < 0 || r.MAPE > 25 {
+			t.Fatalf("%s deviation MAPE = %v%%", r.Dataset, r.MAPE)
+		}
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	s := testSuite(t)
+	out, results := s.Figure8()
+	if !strings.Contains(out, "Figure 8") {
+		t.Fatal("missing header")
+	}
+	// AMG-512 missing on the small machine; AMG-128 has 10 steps so only
+	// the m=3/k=5 specs produce windows
+	valid := 0
+	for _, r := range results {
+		if r.MAPE >= 0 {
+			valid++
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no valid forecast results")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	s := testSuite(t)
+	out, results := s.Figure10()
+	if !strings.Contains(out, "Figure 10") {
+		t.Fatal("missing header")
+	}
+	valid := 0
+	for _, r := range results {
+		if r.MAPE >= 0 && r.MAPE < 100 {
+			valid++
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no valid forecast results")
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	s := testSuite(t)
+	out, imps := s.Figure11()
+	if !strings.Contains(out, "Figure 11") {
+		t.Fatal("missing header")
+	}
+	// MILC-128 (30 steps) supports the fast spec; importance vector sane
+	if len(imps) == 0 {
+		t.Skip("no dataset long enough for importances at this scale")
+	}
+	for name, imp := range imps {
+		for _, v := range imp {
+			if v < 0 {
+				t.Fatalf("%s has negative importance", name)
+			}
+		}
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	s := testSuite(t)
+	out, segs, err := s.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 12") {
+		t.Fatal("missing header")
+	}
+	if len(segs) < 3 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	// no cluster → error, not panic
+	if _, _, err := (&Suite{Camp: s.Camp}).Figure12(); err == nil {
+		t.Fatal("expected error without cluster")
+	}
+}
+
+func TestMPIProfileFractions(t *testing.T) {
+	s := testSuite(t)
+	fr := s.MPIProfileFractions()
+	if fr["miniVite-128"] < 0.9 {
+		t.Fatalf("miniVite MPI fraction = %v, want ~0.98", fr["miniVite-128"])
+	}
+	if fr["UMT-128"] > 0.7 {
+		t.Fatalf("UMT MPI fraction = %v, want ~0.3-0.5", fr["UMT-128"])
+	}
+}
+
+func TestDominantRoutines(t *testing.T) {
+	s := testSuite(t)
+	dom := s.DominantRoutines()
+	if dom["miniVite-128"] != mpi.Waitall {
+		t.Fatalf("miniVite dominant routine = %v, want Waitall", dom["miniVite-128"])
+	}
+}

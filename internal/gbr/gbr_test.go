@@ -1,0 +1,146 @@
+package gbr
+
+import (
+	"math"
+	"testing"
+
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/stats"
+)
+
+// friedmanish builds y = 10*x0 + 5*x1^2 + noise with two junk features.
+func friedmanish(n int, noise float64, s *rng.Stream) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 4)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, s.Float64())
+		}
+		y[i] = 10*x.At(i, 0) + 5*x.At(i, 1)*x.At(i, 1) + noise*s.NormFloat64()
+	}
+	return x, y
+}
+
+func TestGBRFitsNonlinearFunction(t *testing.T) {
+	s := rng.New(1)
+	x, y := friedmanish(1200, 0.1, s)
+	m := Fit(x, y, nil, nil, Options{NumTrees: 80}, s)
+	pred := m.PredictRows(x, nil)
+	// explained variance should be high
+	var ssRes float64
+	for i := range y {
+		d := pred[i] - y[i]
+		ssRes += d * d
+	}
+	ssTot := stats.Variance(y) * float64(len(y)-1)
+	r2 := 1 - ssRes/ssTot
+	if r2 < 0.9 {
+		t.Fatalf("R^2 = %v, want > 0.9", r2)
+	}
+}
+
+func TestGBRBeatsSingleLeafBaseline(t *testing.T) {
+	s := rng.New(2)
+	x, y := friedmanish(500, 0.5, s)
+	m := Fit(x, y, nil, nil, Options{NumTrees: 30}, s)
+	mean := stats.Mean(y)
+	var sseModel, sseMean float64
+	for i := range y {
+		d := m.Predict(x.Row(i)) - y[i]
+		sseModel += d * d
+		dm := mean - y[i]
+		sseMean += dm * dm
+	}
+	if sseModel > sseMean/3 {
+		t.Fatalf("boosting barely beat the mean: %v vs %v", sseModel, sseMean)
+	}
+}
+
+func TestImportanceRanksRealFeatures(t *testing.T) {
+	s := rng.New(3)
+	x, y := friedmanish(1000, 0.1, s)
+	m := Fit(x, y, nil, nil, Options{NumTrees: 60}, s)
+	imp := m.Importance()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if imp[0] < imp[2] || imp[0] < imp[3] || imp[1] < imp[2] || imp[1] < imp[3] {
+		t.Fatalf("junk features outrank real ones: %v", imp)
+	}
+}
+
+func TestFeatureRestriction(t *testing.T) {
+	s := rng.New(4)
+	x, y := friedmanish(500, 0.1, s)
+	m := Fit(x, y, nil, []int{2, 3}, Options{NumTrees: 20}, s)
+	imp := m.Importance()
+	if imp[0] != 0 || imp[1] != 0 {
+		t.Fatalf("excluded features gained importance: %v", imp)
+	}
+}
+
+func TestTrainSubsetOnly(t *testing.T) {
+	s := rng.New(5)
+	x, y := friedmanish(400, 0.1, s)
+	// train on the first half only
+	idx := make([]int, 200)
+	for i := range idx {
+		idx[i] = i
+	}
+	m := Fit(x, y, idx, nil, Options{NumTrees: 40}, s)
+	// held-out half should still predict decently (same distribution)
+	var sse, sst float64
+	mean := stats.Mean(y[200:])
+	for i := 200; i < 400; i++ {
+		d := m.Predict(x.Row(i)) - y[i]
+		sse += d * d
+		dm := y[i] - mean
+		sst += dm * dm
+	}
+	if 1-sse/sst < 0.7 {
+		t.Fatalf("held-out R^2 = %v", 1-sse/sst)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	sData := rng.New(6)
+	x, y := friedmanish(300, 0.2, sData)
+	m1 := Fit(x, y, nil, nil, Options{NumTrees: 10}, rng.New(7))
+	m2 := Fit(x, y, nil, nil, Options{NumTrees: 10}, rng.New(7))
+	for i := 0; i < x.Rows; i++ {
+		if m1.Predict(x.Row(i)) != m2.Predict(x.Row(i)) {
+			t.Fatal("same seed should give identical models")
+		}
+	}
+}
+
+func TestNumTreesAndDefaults(t *testing.T) {
+	s := rng.New(8)
+	x, y := friedmanish(100, 0.1, s)
+	m := Fit(x, y, nil, nil, Options{}, s)
+	if m.NumTrees() != 40 {
+		t.Fatalf("default NumTrees = %d, want 40", m.NumTrees())
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	s := rng.New(9)
+	x := linalg.NewMatrix(60, 2)
+	y := make([]float64, 60)
+	for i := range y {
+		x.Set(i, 0, s.Float64())
+		y[i] = 3.5
+	}
+	m := Fit(x, y, nil, nil, Options{NumTrees: 5}, s)
+	if math.Abs(m.Predict([]float64{0.1, 0.9})-3.5) > 1e-9 {
+		t.Fatal("constant target should predict the constant")
+	}
+}

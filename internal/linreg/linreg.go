@@ -1,0 +1,190 @@
+// Package linreg implements ridge (L2-regularized) linear regression via
+// the normal equations, solved with Cholesky decomposition. It is the
+// baseline comparator for the boosted deviation models: related work
+// (Groves et al., CLUSTER'17) correlated Aries counters with performance
+// using simple linear regression, and the ablation benchmarks quantify how
+// much the nonlinear model of §IV-B buys over that.
+package linreg
+
+import (
+	"fmt"
+	"math"
+
+	"dragonvar/internal/linalg"
+)
+
+// Model is a fitted linear model y ≈ x·w + b. Features are standardized
+// internally, so the regularization treats all columns equally.
+type Model struct {
+	weights []float64
+	bias    float64
+
+	mu, sigma []float64 // feature standardization
+}
+
+// Options configures the fit.
+type Options struct {
+	// Lambda is the L2 penalty; default 1e-3.
+	Lambda float64
+}
+
+// Fit solves min ||y - Xw - b||² + λ||w||² on the rows of x listed in idx
+// (all rows when idx is nil).
+func Fit(x *linalg.Matrix, y []float64, idx []int, opt Options) (*Model, error) {
+	if opt.Lambda <= 0 {
+		opt.Lambda = 1e-3
+	}
+	if idx == nil {
+		idx = make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	n := len(idx)
+	if n == 0 {
+		return nil, fmt.Errorf("linreg: no training rows")
+	}
+	h := x.Cols
+
+	m := &Model{
+		weights: make([]float64, h),
+		mu:      make([]float64, h),
+		sigma:   make([]float64, h),
+	}
+	// standardization statistics
+	for _, i := range idx {
+		row := x.Row(i)
+		for j, v := range row {
+			m.mu[j] += v
+		}
+	}
+	for j := range m.mu {
+		m.mu[j] /= float64(n)
+	}
+	for _, i := range idx {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - m.mu[j]
+			m.sigma[j] += d * d
+		}
+	}
+	for j := range m.sigma {
+		m.sigma[j] = math.Sqrt(m.sigma[j] / float64(n))
+		if m.sigma[j] == 0 {
+			m.sigma[j] = 1
+		}
+	}
+	var yMean float64
+	for _, i := range idx {
+		yMean += y[i]
+	}
+	yMean /= float64(n)
+
+	// normal equations on standardized, centered data: (ZᵀZ + λI) w = Zᵀy
+	ata := linalg.NewMatrix(h, h)
+	atb := make([]float64, h)
+	z := make([]float64, h)
+	for _, i := range idx {
+		row := x.Row(i)
+		for j, v := range row {
+			z[j] = (v - m.mu[j]) / m.sigma[j]
+		}
+		yc := y[i] - yMean
+		for a := 0; a < h; a++ {
+			za := z[a]
+			if za == 0 {
+				continue
+			}
+			atb[a] += za * yc
+			arow := ata.Row(a)
+			for b := 0; b < h; b++ {
+				arow[b] += za * z[b]
+			}
+		}
+	}
+	for a := 0; a < h; a++ {
+		ata.Set(a, a, ata.At(a, a)+opt.Lambda*float64(n))
+	}
+
+	w, err := choleskySolve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	m.weights = w
+	m.bias = yMean
+	return m, nil
+}
+
+// Predict returns the model's prediction for one feature row.
+func (m *Model) Predict(row []float64) float64 {
+	out := m.bias
+	for j, v := range row {
+		out += m.weights[j] * (v - m.mu[j]) / m.sigma[j]
+	}
+	return out
+}
+
+// PredictRows returns predictions for the rows of x listed in idx (all
+// rows when idx is nil).
+func (m *Model) PredictRows(x *linalg.Matrix, idx []int) []float64 {
+	if idx == nil {
+		idx = make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = m.Predict(x.Row(i))
+	}
+	return out
+}
+
+// Coefficients returns the standardized-space weights; their magnitudes
+// are comparable across features. The slice aliases model storage.
+func (m *Model) Coefficients() []float64 { return m.weights }
+
+// choleskySolve solves the symmetric positive-definite system A x = b.
+func choleskySolve(a *linalg.Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linreg: bad system shape")
+	}
+	// decompose A = L Lᵀ in place into l (lower triangular)
+	l := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("linreg: matrix not positive definite at %d (pivot %g)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	// forward solve L z = b
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * z[k]
+		}
+		z[i] = sum / l.At(i, i)
+	}
+	// back solve Lᵀ x = z
+	xout := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * xout[k]
+		}
+		xout[i] = sum / l.At(i, i)
+	}
+	return xout, nil
+}

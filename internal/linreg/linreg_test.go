@@ -1,0 +1,202 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rng"
+)
+
+func linearData(n int, noise float64, s *rng.Stream) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, s.Float64()*10)
+		}
+		y[i] = 2*x.At(i, 0) - 3*x.At(i, 1) + 7 + noise*s.NormFloat64()
+	}
+	return x, y
+}
+
+func TestRecoversLinearRelation(t *testing.T) {
+	s := rng.New(1)
+	x, y := linearData(500, 0.01, s)
+	m, err := Fit(x, y, nil, Options{Lambda: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows; i++ {
+		if math.Abs(m.Predict(x.Row(i))-y[i]) > 0.2 {
+			t.Fatalf("row %d: pred %v, want %v", i, m.Predict(x.Row(i)), y[i])
+		}
+	}
+}
+
+func TestCoefficientsReflectImportance(t *testing.T) {
+	s := rng.New(2)
+	x, y := linearData(500, 0.01, s)
+	m, err := Fit(x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Coefficients()
+	// features 0 and 1 drive y; feature 2 is noise
+	if math.Abs(c[2]) > math.Abs(c[0])/5 || math.Abs(c[2]) > math.Abs(c[1])/5 {
+		t.Fatalf("irrelevant feature got large coefficient: %v", c)
+	}
+	// signs: +2 and -3 (standardized, same input scale → comparable)
+	if c[0] <= 0 || c[1] >= 0 {
+		t.Fatalf("coefficient signs wrong: %v", c)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	s := rng.New(3)
+	x, y := linearData(100, 0.5, s)
+	weak, err := Fit(x, y, nil, Options{Lambda: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Fit(x, y, nil, Options{Lambda: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.Norm2(strong.Coefficients()) >= linalg.Norm2(weak.Coefficients()) {
+		t.Fatal("stronger penalty should shrink coefficients")
+	}
+}
+
+func TestTrainSubset(t *testing.T) {
+	s := rng.New(4)
+	x, y := linearData(200, 0.1, s)
+	idx := make([]int, 100)
+	for i := range idx {
+		idx[i] = i
+	}
+	m, err := Fit(x, y, idx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// held-out half still fits
+	var sse float64
+	for i := 100; i < 200; i++ {
+		d := m.Predict(x.Row(i)) - y[i]
+		sse += d * d
+	}
+	if sse/100 > 1.0 {
+		t.Fatalf("held-out MSE = %v", sse/100)
+	}
+	if _, err := Fit(x, y, []int{}, Options{}); err == nil {
+		t.Fatal("empty training set should error")
+	}
+}
+
+func TestConstantFeature(t *testing.T) {
+	s := rng.New(5)
+	x := linalg.NewMatrix(50, 2)
+	y := make([]float64, 50)
+	for i := 0; i < 50; i++ {
+		x.Set(i, 0, s.Float64())
+		x.Set(i, 1, 3) // constant column: sigma guard must prevent div0
+		y[i] = 5 * x.At(i, 0)
+	}
+	m, err := Fit(x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict([]float64{0.5, 3})
+	if math.IsNaN(p) || math.Abs(p-2.5) > 0.3 {
+		t.Fatalf("prediction = %v", p)
+	}
+}
+
+func TestPredictRows(t *testing.T) {
+	s := rng.New(6)
+	x, y := linearData(60, 0.01, s)
+	m, err := Fit(x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := m.PredictRows(x, nil)
+	if len(all) != 60 {
+		t.Fatalf("len = %d", len(all))
+	}
+	some := m.PredictRows(x, []int{5, 10})
+	if some[0] != all[5] || some[1] != all[10] {
+		t.Fatal("subset predictions disagree")
+	}
+}
+
+func TestCholeskySolveIdentity(t *testing.T) {
+	f := func(raw [3]float64) bool {
+		// A = I, so x must equal b
+		a := linalg.NewMatrix(3, 3)
+		for i := 0; i < 3; i++ {
+			a.Set(i, i, 1)
+		}
+		b := make([]float64, 3)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			b[i] = math.Mod(v, 1e6)
+		}
+		x, err := choleskySolve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(x[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := linalg.FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := choleskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("zero matrix should be rejected")
+	}
+	bad := linalg.FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := choleskySolve(bad, []float64{1, 1}); err == nil {
+		t.Fatal("indefinite matrix should be rejected")
+	}
+}
+
+func TestCholeskySolveRandomSPD(t *testing.T) {
+	s := rng.New(7)
+	// A = MᵀM + I is SPD; check A x = b residual
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		mrand := linalg.NewMatrix(n, n)
+		for i := range mrand.Data {
+			mrand.Data[i] = s.NormFloat64()
+		}
+		a := linalg.MatMul(mrand.T(), mrand, nil)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = s.NormFloat64()
+		}
+		x, err := choleskySolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := a.MatVec(x, nil)
+		for i := range b {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				t.Fatalf("residual %v at %d", r[i]-b[i], i)
+			}
+		}
+	}
+}

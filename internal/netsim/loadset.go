@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"sort"
+
+	"dragonvar/internal/routing"
+	"dragonvar/internal/topology"
+)
+
+// LoadSet is the precomputed network footprint of a traffic pattern at
+// unit intensity: per-link flit loads and per-router endpoint loads. A
+// background job's pattern and routing do not change over its lifetime, so
+// the simulator computes its LoadSet once at placement (with an even split
+// over minimal path candidates) and then adds Scale×LoadSet per round. This
+// makes a round's cost linear in the number of active background jobs'
+// footprints instead of re-routing every flow of every job.
+type LoadSet struct {
+	// sparse link loads (flits at unit intensity), parallel slices
+	LinkIDs   []topology.LinkID
+	LinkFlits []float64
+
+	// sparse per-router endpoint loads, parallel slices
+	RouterIDs []topology.RouterID
+	InjFlits  []float64
+	EjFlits   []float64
+	InjPkts   []float64
+	EjPkts    []float64
+	ArriveVC0 []float64 // request flits arriving at the router's NICs
+	ArriveVC4 []float64 // response flits (incl. acks) arriving
+}
+
+// ScaledLoad pairs a LoadSet with the intensity to apply this round.
+type ScaledLoad struct {
+	Set   *LoadSet
+	Scale float64
+}
+
+// BuildLoadSet routes the flows with an even split across their minimal
+// path candidates and returns the aggregated unit-intensity footprint.
+func (n *Network) BuildLoadSet(flows []Flow) *LoadSet {
+	linkLoad := make(map[topology.LinkID]float64)
+	type endpoint struct {
+		injF, ejF, injP, ejP, vc0, vc4 float64
+	}
+	routers := make(map[topology.RouterID]*endpoint)
+	ep := func(r topology.RouterID) *endpoint {
+		e, ok := routers[r]
+		if !ok {
+			e = &endpoint{}
+			routers[r] = e
+		}
+		return e
+	}
+
+	eng := routing.NewEngine(n.topo)
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Flits <= 0 {
+			continue
+		}
+		// even split over minimal candidates only: background traffic is
+		// routed statically, Valiant detours are reserved for the
+		// adaptively routed foreground flows. Paths are computed directly
+		// rather than through the adaptive path cache: footprints are built
+		// once per job, and caching their pairs would bloat the cache.
+		minimal := eng.MinimalPaths(f.Src, f.Dst, 2, nil)
+		share := f.Flits / float64(len(minimal))
+		for _, p := range minimal {
+			for _, l := range p.Links {
+				linkLoad[l] += share
+			}
+		}
+		src, dst := ep(f.Src), ep(f.Dst)
+		src.injF += f.Flits
+		dst.ejF += f.Flits
+		src.injP += f.Packets
+		dst.ejP += f.Packets
+		req := clamp01(f.RequestFraction)
+		dst.vc0 += f.Flits * req
+		dst.vc4 += f.Flits * (1 - req)
+		src.vc4 += f.Packets // acks
+	}
+
+	ls := &LoadSet{}
+	for id := range linkLoad {
+		ls.LinkIDs = append(ls.LinkIDs, id)
+	}
+	sort.Slice(ls.LinkIDs, func(i, j int) bool { return ls.LinkIDs[i] < ls.LinkIDs[j] })
+	ls.LinkFlits = make([]float64, len(ls.LinkIDs))
+	for i, id := range ls.LinkIDs {
+		ls.LinkFlits[i] = linkLoad[id]
+	}
+	for r := range routers {
+		ls.RouterIDs = append(ls.RouterIDs, r)
+	}
+	sort.Slice(ls.RouterIDs, func(i, j int) bool { return ls.RouterIDs[i] < ls.RouterIDs[j] })
+	for _, r := range ls.RouterIDs {
+		e := routers[r]
+		ls.InjFlits = append(ls.InjFlits, e.injF)
+		ls.EjFlits = append(ls.EjFlits, e.ejF)
+		ls.InjPkts = append(ls.InjPkts, e.injP)
+		ls.EjPkts = append(ls.EjPkts, e.ejP)
+		ls.ArriveVC0 = append(ls.ArriveVC0, e.vc0)
+		ls.ArriveVC4 = append(ls.ArriveVC4, e.vc4)
+	}
+	return ls
+}
+
+// NumLinks returns the number of links the footprint touches.
+func (ls *LoadSet) NumLinks() int { return len(ls.LinkIDs) }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"dragonvar/internal/counters"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+func TestBuildLoadSetConservesVolume(t *testing.T) {
+	n := newNet(t, DefaultConfig())
+	d := n.Topology()
+	flows := []Flow{
+		{Src: d.RouterAt(0, 1, 1), Dst: d.RouterAt(2, 2, 2), Flits: 1000, Packets: 10, RequestFraction: 0.8},
+		{Src: d.RouterAt(1, 0, 0), Dst: d.RouterAt(1, 3, 5), Flits: 500, Packets: 5, RequestFraction: 1},
+	}
+	ls := n.BuildLoadSet(flows)
+	if ls.NumLinks() == 0 {
+		t.Fatal("empty load set")
+	}
+	// endpoint totals conserved
+	var inj, ej float64
+	for i := range ls.RouterIDs {
+		inj += ls.InjFlits[i]
+		ej += ls.EjFlits[i]
+	}
+	if math.Abs(inj-1500) > 1e-9 || math.Abs(ej-1500) > 1e-9 {
+		t.Fatalf("endpoint totals: inj=%v ej=%v, want 1500", inj, ej)
+	}
+	// every link's load is positive and the total link flits is at least
+	// the flow volume (each flow crosses ≥1 link)
+	var total float64
+	for _, v := range ls.LinkFlits {
+		if v <= 0 {
+			t.Fatal("non-positive link load in set")
+		}
+		total += v
+	}
+	if total < 1500 {
+		t.Fatalf("link flits = %v, want >= 1500", total)
+	}
+}
+
+func TestBuildLoadSetSkipsDegenerate(t *testing.T) {
+	n := newNet(t, DefaultConfig())
+	d := n.Topology()
+	r := d.RouterAt(0, 0, 0)
+	ls := n.BuildLoadSet([]Flow{
+		{Src: r, Dst: r, Flits: 100, Packets: 1},
+		{Src: r, Dst: d.RouterAt(1, 1, 1), Flits: 0, Packets: 1},
+	})
+	if ls.NumLinks() != 0 || len(ls.RouterIDs) != 0 {
+		t.Fatal("degenerate flows should produce an empty load set")
+	}
+}
+
+func TestBackgroundLoadSlowsForeground(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(d, DefaultConfig(), rng.New(5))
+	src := d.RouterAt(2, 1, 0)
+	dst := d.RouterAt(2, 1, 3)
+	fg := []Flow{{Src: src, Dst: dst, Flits: 1e8, Packets: 1e4, RequestFraction: 1}}
+
+	idle := n.RunRound(fg, nil, 1.0)
+
+	// heavy background over the same row
+	var bgFlows []Flow
+	for c := 0; c < 6; c++ {
+		bgFlows = append(bgFlows, Flow{Src: src, Dst: dst, Flits: 3e9, Packets: 1e5, RequestFraction: 1})
+	}
+	ls := n.BuildLoadSet(bgFlows)
+	busy := n.RunRound(fg, []ScaledLoad{{Set: ls, Scale: 1}}, 1.0)
+
+	if busy.Slowdown[0] <= idle.Slowdown[0] {
+		t.Fatalf("background load should slow foreground: idle %v busy %v",
+			idle.Slowdown[0], busy.Slowdown[0])
+	}
+	// scale doubles the pain
+	busier := n.RunRound(fg, []ScaledLoad{{Set: ls, Scale: 2}}, 1.0)
+	if busier.Slowdown[0] <= busy.Slowdown[0] {
+		t.Fatalf("doubled background should slow more: %v vs %v", busy.Slowdown[0], busier.Slowdown[0])
+	}
+}
+
+func TestBackgroundContributesCounters(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(d, DefaultConfig(), rng.New(5))
+	src := d.RouterAt(3, 1, 0)
+	dst := d.RouterAt(3, 1, 4)
+	ls := n.BuildLoadSet([]Flow{{Src: src, Dst: dst, Flits: 1e9, Packets: 1e5, RequestFraction: 0.9}})
+
+	before := n.Board.Snapshot()
+	n.RunRound(nil, []ScaledLoad{{Set: ls, Scale: 1}}, 1.0)
+	delta := n.Board.DeltaSum(before, []topology.RouterID{src, dst})
+	if delta[counters.RTFlitTot] <= 0 {
+		t.Fatal("background traffic left no RT flit counters")
+	}
+	if delta[counters.PTFlitTot] <= 0 {
+		t.Fatal("background traffic left no PT flit counters")
+	}
+	// VC0 arrivals at dst reflect the request fraction
+	dd := n.Board.DeltaSum(before, []topology.RouterID{dst})
+	if math.Abs(dd[counters.PTFlitVC0]-0.9e9) > 1e6 {
+		t.Fatalf("background VC0 arrivals = %v, want 9e8", dd[counters.PTFlitVC0])
+	}
+}
+
+func TestScaledLoadZeroOrNilIgnored(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(d, DefaultConfig(), rng.New(5))
+	fg := []Flow{{Src: d.RouterAt(0, 1, 0), Dst: d.RouterAt(0, 1, 3), Flits: 1e6, Packets: 100, RequestFraction: 1}}
+	a := n.RunRound(fg, nil, 1.0)
+	b := n.RunRound(fg, []ScaledLoad{{Set: nil, Scale: 1}, {Set: &LoadSet{}, Scale: 0}}, 1.0)
+	if a.Slowdown[0] != b.Slowdown[0] {
+		t.Fatal("nil/zero background should be a no-op")
+	}
+}

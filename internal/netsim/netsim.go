@@ -1,0 +1,553 @@
+// Package netsim is the flow-level congestion simulator that stands in for
+// the Aries hardware. For every simulation round (one application time step,
+// or a fraction of one), the caller supplies the traffic demands of all jobs
+// sharing the machine; the simulator routes them adaptively over the
+// dragonfly, derives per-link utilization, converts contention into stall
+// cycles and slowdown factors, and accumulates the Table II hardware
+// counters into a counters.Board.
+//
+// Two properties of the real system are preserved because the analyses
+// depend on them:
+//
+//  1. Slowdowns and counters come from the same mechanism — shared links.
+//     A job is slowed exactly when the routers it can see record stalls,
+//     which is what makes counter-based deviation prediction (§V-B) work.
+//  2. Transit congestion (router tiles) and endpoint congestion (processor
+//     tiles) are distinct. Flows with many packets per flit (small-message
+//     traffic, e.g. AMG) saturate endpoint packet processing and show up in
+//     PT_* stall counters; bandwidth-heavy flows (MILC) saturate link
+//     bandwidth and show up in RT_* stall counters — the split Figure 9
+//     reports.
+package netsim
+
+import (
+	"math"
+
+	"dragonvar/internal/counters"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/routing"
+	"dragonvar/internal/topology"
+)
+
+// Config sets the physical constants of the simulated interconnect. The
+// defaults (see DefaultConfig) are loosely calibrated to Aries: what matters
+// for the paper's analyses is the relative balance between link bandwidth,
+// injection bandwidth, and packet processing rate, not the absolute values.
+type Config struct {
+	// LinkBandwidth is the flit capacity of a green/black link, flits/s.
+	LinkBandwidth float64
+	// BlueBandwidth is the flit capacity of a global link, flits/s.
+	BlueBandwidth float64
+	// InjectionBandwidth is the NIC flit capacity of one router, flits/s
+	// (all of the router's nodes combined).
+	InjectionBandwidth float64
+	// PacketRate is the endpoint message/transaction processing capacity of
+	// one router, messages/s (all its NICs combined). Small-message traffic
+	// exhausts this before it exhausts bandwidth.
+	PacketRate float64
+	// StallScale converts queueing delay into stall cycles per flit, so
+	// counters have hardware-plausible magnitudes.
+	StallScale float64
+	// FlitsPerPacket is used to derive packet counts from flit counts for
+	// the RT_PKT_TOT counter.
+	FlitsPerPacket float64
+	// MaxMinimal and MaxValiant bound the adaptive-routing candidate set.
+	MaxMinimal int
+	MaxValiant int
+	// Adaptive enables load-aware path splitting. When false the simulator
+	// always uses the first minimal path (the ablation of §VI's related
+	// simulation studies: variability collapses onto fewer links and
+	// hotspots form).
+	Adaptive bool
+	// RelaxationRounds is the number of route/measure iterations per round;
+	// 2 is enough for the split weights to react to the round's own load.
+	RelaxationRounds int
+}
+
+// DefaultConfig returns the calibration used by the campaign.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidth:      5.25e9, // ~5 GB/s expressed in flit units
+		BlueBandwidth:      4.7e9,
+		InjectionBandwidth: 8e9,
+		PacketRate:         4e7,
+		StallScale:         0.9,
+		FlitsPerPacket:     12,
+		MaxMinimal:         3,
+		MaxValiant:         1,
+		Adaptive:           true,
+		RelaxationRounds:   2,
+	}
+}
+
+// Flow is a directed traffic demand between two routers for one round.
+type Flow struct {
+	Src, Dst topology.RouterID
+	// Flits is the data volume of the flow during the round.
+	Flits float64
+	// Packets is the number of messages/transactions carrying those flits.
+	// High message counts at low flit volume model small-message traffic,
+	// which is throttled by endpoint processing rather than bandwidth.
+	Packets float64
+	// RequestFraction is the share of the flow's flits on request virtual
+	// channels (VC0); the rest are responses (VC4). Put/Send traffic is
+	// request-dominated; Get-based protocols see more response flits.
+	RequestFraction float64
+}
+
+// Result reports what one simulation round did to each flow and to the
+// machine.
+type Result struct {
+	// Slowdown[i] is the contention delay factor (≥ 1) experienced by
+	// flows[i]: the factor by which the flow's communication was stretched
+	// relative to an idle machine.
+	Slowdown []float64
+	// MaxLinkUtilization is the highest per-link utilization observed.
+	MaxLinkUtilization float64
+	// MeanLinkUtilization averages utilization over links that carried
+	// any traffic.
+	MeanLinkUtilization float64
+}
+
+// Network simulates one machine. It is not safe for concurrent use.
+type Network struct {
+	topo *topology.Dragonfly
+	eng  *routing.Engine
+	cfg  Config
+
+	// Board accumulates the cumulative hardware counters, like the real
+	// chips do; consumers snapshot and diff it.
+	Board *counters.Board
+
+	s *rng.Stream
+
+	// per-link state, reused across rounds
+	linkLoad []float64 // flits assigned to each link this round
+	linkCap  []float64 // flit capacity of each link for a 1-second round
+	prevLoad []float64 // utilizations of the previous relaxation iteration
+	bgLoad   []float64 // background (precomputed) flits per link this round
+
+	// active-set tracking: only links/routers touched this round are reset
+	// and scanned, so round cost scales with traffic, not machine size
+	activeLinks   []topology.LinkID
+	linkOnList    []bool
+	activeRouters []topology.RouterID
+	routerOnList  []bool
+
+	// per-router endpoint state, reused across rounds
+	injFlits []float64 // flits injected at each router this round
+	ejFlits  []float64 // flits ejected at each router this round
+	injPkts  []float64
+	ejPkts   []float64
+
+	// path cache: flows between the same router pair recur every step
+	pathCache map[uint64][]routing.Path
+}
+
+// New creates a network simulator over machine d. The stream drives path
+// sampling and must be dedicated to this network.
+func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
+	n := &Network{
+		topo:      d,
+		eng:       routing.NewEngine(d),
+		cfg:       cfg,
+		Board:     counters.NewBoard(d.Cfg.NumRouters()),
+		s:         s,
+		linkLoad:  make([]float64, len(d.Links)),
+		linkCap:   make([]float64, len(d.Links)),
+		prevLoad:  make([]float64, len(d.Links)),
+		bgLoad:    make([]float64, len(d.Links)),
+		injFlits:  make([]float64, d.Cfg.NumRouters()),
+		ejFlits:   make([]float64, d.Cfg.NumRouters()),
+		injPkts:   make([]float64, d.Cfg.NumRouters()),
+		ejPkts:    make([]float64, d.Cfg.NumRouters()),
+		pathCache: make(map[uint64][]routing.Path),
+	}
+	n.linkOnList = make([]bool, len(d.Links))
+	n.routerOnList = make([]bool, d.Cfg.NumRouters())
+	for i, l := range d.Links {
+		if l.Type == topology.Blue {
+			n.linkCap[i] = cfg.BlueBandwidth
+		} else {
+			n.linkCap[i] = cfg.LinkBandwidth
+		}
+	}
+	return n
+}
+
+// Topology returns the machine being simulated.
+func (n *Network) Topology() *topology.Dragonfly { return n.topo }
+
+// Config returns the simulator configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// pairKey builds the path-cache key.
+func pairKey(a, b topology.RouterID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// candidates returns the cached adaptive-routing candidate set for a pair.
+func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
+	key := pairKey(a, b)
+	if p, ok := n.pathCache[key]; ok {
+		return p
+	}
+	opt := routing.CandidateOptions{MaxMinimal: n.cfg.MaxMinimal, MaxValiant: n.cfg.MaxValiant}
+	if !n.cfg.Adaptive {
+		opt = routing.CandidateOptions{MaxMinimal: 1, MaxValiant: 0}
+	}
+	p := n.eng.Candidates(a, b, opt, n.s)
+	n.pathCache[key] = p
+	return p
+}
+
+// queueDelay is the congestion delay at utilization u: an M/M/1-style
+// convex curve, clamped so overload stays finite but very painful.
+func queueDelay(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	const uMax = 0.97
+	if u > uMax {
+		// linear continuation beyond the pole so overload keeps ordering
+		base := uMax / (1 - uMax)
+		return base + (u-uMax)*25
+	}
+	return u / (1 - u)
+}
+
+// touchLink marks a link as active this round.
+func (n *Network) touchLink(l topology.LinkID) {
+	if !n.linkOnList[l] {
+		n.linkOnList[l] = true
+		n.activeLinks = append(n.activeLinks, l)
+	}
+}
+
+// touchRouter marks a router as active this round.
+func (n *Network) touchRouter(r topology.RouterID) {
+	if !n.routerOnList[r] {
+		n.routerOnList[r] = true
+		n.activeRouters = append(n.activeRouters, r)
+	}
+}
+
+// RoutedFlows holds the resolved adaptive-routing candidate sets for a
+// fixed list of flows. An application's router-pair list does not change
+// across time steps, so callers resolve once per run and reuse.
+type RoutedFlows struct {
+	paths   [][]routing.Path
+	weights [][]float64
+}
+
+// Resolve computes (and caches) the candidate paths for each flow.
+func (n *Network) Resolve(flows []Flow) *RoutedFlows {
+	r := &RoutedFlows{
+		paths:   make([][]routing.Path, len(flows)),
+		weights: make([][]float64, len(flows)),
+	}
+	for i, f := range flows {
+		r.paths[i] = n.candidates(f.Src, f.Dst)
+		r.weights[i] = make([]float64, len(r.paths[i]))
+	}
+	return r
+}
+
+// RunRound simulates `duration` seconds of traffic: the adaptively routed
+// foreground flows plus any number of precomputed background footprints
+// (production jobs whose routing was fixed at placement). Returns the
+// per-flow slowdowns of the foreground flows; counters for all traffic
+// accumulate into n.Board.
+func (n *Network) RunRound(flows []Flow, background []ScaledLoad, duration float64) Result {
+	return n.RunRoundRouted(flows, n.Resolve(flows), background, duration)
+}
+
+// RunRoundRouted is RunRound with pre-resolved foreground routes; flows
+// must match the list the routes were resolved for pair by pair.
+func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background []ScaledLoad, duration float64) Result {
+	if duration <= 0 {
+		duration = 1
+	}
+
+	// reset the previous round's active state
+	for _, l := range n.activeLinks {
+		n.linkLoad[l] = 0
+		n.bgLoad[l] = 0
+		n.prevLoad[l] = 0
+		n.linkOnList[l] = false
+	}
+	n.activeLinks = n.activeLinks[:0]
+	for _, r := range n.activeRouters {
+		n.injFlits[r] = 0
+		n.ejFlits[r] = 0
+		n.injPkts[r] = 0
+		n.ejPkts[r] = 0
+		n.routerOnList[r] = false
+	}
+	n.activeRouters = n.activeRouters[:0]
+
+	// fold in the background footprints: link loads, endpoint loads, and
+	// the endpoint flit-arrival counters
+	for _, bg := range background {
+		if bg.Set == nil || bg.Scale <= 0 {
+			continue
+		}
+		s := bg.Scale
+		for i, id := range bg.Set.LinkIDs {
+			n.bgLoad[id] += bg.Set.LinkFlits[i] * s
+			n.touchLink(id)
+		}
+		for i, r := range bg.Set.RouterIDs {
+			n.injFlits[r] += bg.Set.InjFlits[i] * s
+			n.ejFlits[r] += bg.Set.EjFlits[i] * s
+			n.injPkts[r] += bg.Set.InjPkts[i] * s
+			n.ejPkts[r] += bg.Set.EjPkts[i] * s
+			n.touchRouter(r)
+			rc := &n.Board.PerRouter[r]
+			rc[counters.PTFlitVC0] += bg.Set.ArriveVC0[i] * s
+			rc[counters.PTFlitVC4] += bg.Set.ArriveVC4[i] * s
+			rc[counters.PTFlitTot] += (bg.Set.ArriveVC0[i] + bg.Set.ArriveVC4[i]) * s
+		}
+	}
+	// mark the foreground's links active up front so resets stay complete
+	for i, f := range flows {
+		if f.Src == f.Dst || f.Flits <= 0 {
+			continue
+		}
+		for _, p := range routed.paths[i] {
+			for _, l := range p.Links {
+				n.touchLink(l)
+			}
+		}
+	}
+	// the adaptive foreground reacts to the background from iteration 0
+	invDur := 1 / duration
+	for _, l := range n.activeLinks {
+		n.prevLoad[l] = n.bgLoad[l] / n.linkCap[l] * invDur
+	}
+
+	rounds := n.cfg.RelaxationRounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	for it := 0; it < rounds; it++ {
+		for _, l := range n.activeLinks {
+			n.linkLoad[l] = n.bgLoad[l]
+		}
+		for i, f := range flows {
+			if f.Src == f.Dst || f.Flits <= 0 {
+				continue
+			}
+			paths := routed.paths[i]
+			weights := routed.weights[i]
+			if n.cfg.Adaptive {
+				// inverse-cost split, inlined for speed
+				var total float64
+				for j, p := range paths {
+					cost := 0.0
+					for _, l := range p.Links {
+						cost += 1 + n.prevLoad[l]
+					}
+					w := 1 / (cost + 1e-9)
+					weights[j] = w
+					total += w
+				}
+				if total > 0 {
+					inv := 1 / total
+					for j := range weights {
+						weights[j] *= inv
+					}
+				}
+			} else {
+				for j := range weights {
+					weights[j] = 0
+				}
+				weights[0] = 1
+			}
+			for j, p := range paths {
+				share := f.Flits * weights[j]
+				if share == 0 {
+					continue
+				}
+				for _, l := range p.Links {
+					n.linkLoad[l] += share
+				}
+			}
+		}
+		// feed utilizations back for the next iteration
+		for _, l := range n.activeLinks {
+			n.prevLoad[l] = n.linkLoad[l] / n.linkCap[l] * invDur
+		}
+	}
+
+	// Endpoint loads.
+	for _, f := range flows {
+		if f.Flits <= 0 {
+			continue
+		}
+		n.injFlits[f.Src] += f.Flits
+		n.ejFlits[f.Dst] += f.Flits
+		n.injPkts[f.Src] += f.Packets
+		n.ejPkts[f.Dst] += f.Packets
+		n.touchRouter(f.Src)
+		n.touchRouter(f.Dst)
+	}
+
+	// Utilizations and counter accumulation.
+	util := n.prevLoad // final per-link utilization
+	res := Result{Slowdown: make([]float64, len(flows))}
+	var utilSum float64
+	var utilN int
+	for _, l := range n.activeLinks {
+		u := util[l]
+		if u > res.MaxLinkUtilization {
+			res.MaxLinkUtilization = u
+		}
+		if n.linkLoad[l] > 0 {
+			utilSum += u
+			utilN++
+		}
+	}
+	if utilN > 0 {
+		res.MeanLinkUtilization = utilSum / float64(utilN)
+	}
+
+	n.accumulateTransitCounters(duration)
+	n.accumulateEndpointCounters(flows, duration)
+
+	// Per-flow slowdowns: transit queueing along the flow's weighted paths
+	// plus endpoint queueing at its source and destination.
+	injCap := n.cfg.InjectionBandwidth * duration
+	pktCap := n.cfg.PacketRate * duration
+	for i, f := range flows {
+		if f.Src == f.Dst || f.Flits <= 0 {
+			res.Slowdown[i] = 1
+			continue
+		}
+		var transit float64
+		for j, p := range routed.paths[i] {
+			w := routed.weights[i][j]
+			if w == 0 {
+				continue
+			}
+			var pathDelay float64
+			for _, l := range p.Links {
+				pathDelay += queueDelay(util[l])
+			}
+			// normalize by hops so the value is delay per traversed link
+			transit += w * pathDelay / float64(len(p.Links))
+		}
+		endFlit := queueDelay(n.injFlits[f.Src]/injCap) + queueDelay(n.ejFlits[f.Dst]/injCap)
+		endPkt := queueDelay(n.injPkts[f.Src]/pktCap) + queueDelay(n.ejPkts[f.Dst]/pktCap)
+		res.Slowdown[i] = 1 + 0.8*transit + 0.5*endFlit + 0.5*endPkt
+
+		// Backpressure echo: credit exhaustion on congested downstream
+		// links propagates stalls back to the tiles of the routers the
+		// flow's packets sit in — which is why per-job counter collection
+		// works on the real machine. The echo is attenuated: backpressure
+		// decays over hops, so remote congestion is only partially visible
+		// in a job's own counters (leaving room for the io/sys features of
+		// §V-C to add information).
+		echo := 0.4 * f.Flits * transit * n.cfg.StallScale
+		if echo > 0 {
+			src := &n.Board.PerRouter[f.Src]
+			dst := &n.Board.PerRouter[f.Dst]
+			half := echo / 2
+			src[counters.RTRBStl] += half
+			dst[counters.RTRBStl] += half
+			twoX := half * math.Min(transit, 1)
+			src[counters.RTRB2xUsg] += twoX
+			dst[counters.RTRB2xUsg] += twoX
+		}
+	}
+	return res
+}
+
+// accumulateTransitCounters writes the RT_* counters for this round: each
+// link's traffic is received by both endpoint routers' router tiles (we
+// split the undirected aggregate evenly; flow direction is already encoded
+// in the endpoint counters).
+func (n *Network) accumulateTransitCounters(duration float64) {
+	b := n.Board
+	for _, i := range n.activeLinks {
+		load := n.linkLoad[i]
+		if load == 0 {
+			continue
+		}
+		l := n.topo.Links[i]
+		u := load / (n.linkCap[i] * duration)
+		stalls := load * queueDelay(u) * n.cfg.StallScale
+		half := load / 2
+		pkts := load / n.cfg.FlitsPerPacket / 2
+		stHalf := stalls / 2
+		// 2X usage grows superlinearly with utilization: both stall events
+		// in a cycle require sustained backpressure.
+		twoX := stHalf * math.Min(u, 1)
+		for _, r := range [2]topology.RouterID{l.A, l.B} {
+			rc := &b.PerRouter[r]
+			rc[counters.RTFlitTot] += half
+			rc[counters.RTPktTot] += pkts
+			rc[counters.RTRBStl] += stHalf
+			rc[counters.RTRB2xUsg] += twoX
+		}
+	}
+}
+
+// accumulateEndpointCounters writes the PT_* counters: processor tiles see
+// the traffic of their own NICs, split over request (VC0) and response
+// (VC4) virtual channels, and stall when injection bandwidth or packet
+// processing saturates.
+func (n *Network) accumulateEndpointCounters(flows []Flow, duration float64) {
+	b := n.Board
+	injCap := n.cfg.InjectionBandwidth * duration
+	pktCap := n.cfg.PacketRate * duration
+
+	// flit arrivals per router, split by VC
+	for _, f := range flows {
+		if f.Flits <= 0 {
+			continue
+		}
+		req := f.RequestFraction
+		if req < 0 {
+			req = 0
+		} else if req > 1 {
+			req = 1
+		}
+		// data arrives at the destination's processor tiles
+		dst := &b.PerRouter[f.Dst]
+		dst[counters.PTFlitVC0] += f.Flits * req
+		dst[counters.PTFlitVC4] += f.Flits * (1 - req)
+		dst[counters.PTFlitTot] += f.Flits
+		// responses/acks flow back to the source's processor tiles
+		src := &b.PerRouter[f.Src]
+		ack := f.Packets // one ack-sized response per packet
+		src[counters.PTFlitVC4] += ack
+		src[counters.PTFlitTot] += ack
+	}
+
+	for _, r := range n.activeRouters {
+		flits := n.injFlits[r] + n.ejFlits[r]
+		pkts := n.injPkts[r] + n.ejPkts[r]
+		if flits == 0 && pkts == 0 {
+			continue
+		}
+		uFlit := (n.injFlits[r] + n.ejFlits[r]) / (2 * injCap)
+		uPkt := (n.injPkts[r] + n.ejPkts[r]) / (2 * pktCap)
+		// Request-channel stalls are driven by packet processing (small
+		// messages); response-channel stalls by bandwidth pressure.
+		stallRq := pkts * queueDelay(uPkt) * n.cfg.StallScale
+		stallRs := flits * queueDelay(uFlit) * n.cfg.StallScale / n.cfg.FlitsPerPacket
+		rc := &b.PerRouter[r]
+		rc[counters.PTRBStlRq] += stallRq
+		rc[counters.PTRBStlRs] += stallRs
+		rc[counters.PTCBStlRq] += 0.6 * stallRq
+		rc[counters.PTCBStlRs] += 0.6 * stallRs
+		rc[counters.PTRB2xUsg] += stallRq * math.Min(uPkt, 1)
+		// Table II: PT_PKT_TOT is derived as PT_RB_STL_RQ + PT_RB_STL_RS.
+		rc[counters.PTPktTot] += stallRq + stallRs
+	}
+}
+
+// ResetCache clears the path cache; call between campaigns if memory is a
+// concern (the cache grows with the number of distinct router pairs seen).
+func (n *Network) ResetCache() { n.pathCache = make(map[uint64][]routing.Path) }

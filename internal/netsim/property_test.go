@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// Property tests on simulator invariants for arbitrary traffic.
+
+func propertyNet(t *testing.T) *Network {
+	t.Helper()
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d, DefaultConfig(), rng.New(99))
+}
+
+func TestPropertySlowdownAtLeastOne(t *testing.T) {
+	n := propertyNet(t)
+	nr := n.Topology().Cfg.NumRouters()
+	f := func(pairs [6][2]uint16, volumes [6]uint32) bool {
+		var flows []Flow
+		for i := range pairs {
+			flows = append(flows, Flow{
+				Src:             topology.RouterID(int(pairs[i][0]) % nr),
+				Dst:             topology.RouterID(int(pairs[i][1]) % nr),
+				Flits:           float64(volumes[i]) * 1e3,
+				Packets:         float64(volumes[i]),
+				RequestFraction: 0.8,
+			})
+		}
+		res := n.RunRound(flows, nil, 1.0)
+		for _, s := range res.Slowdown {
+			if s < 1 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountersNeverNegative(t *testing.T) {
+	n := propertyNet(t)
+	d := n.Topology()
+	nr := d.Cfg.NumRouters()
+	zero := n.Board.Snapshot()
+	all := make([]topology.RouterID, nr)
+	for i := range all {
+		all[i] = topology.RouterID(i)
+	}
+	f := func(a, b uint16, vol uint32) bool {
+		flows := []Flow{{
+			Src:             topology.RouterID(int(a) % nr),
+			Dst:             topology.RouterID(int(b) % nr),
+			Flits:           float64(vol) * 1e4,
+			Packets:         float64(vol),
+			RequestFraction: 0.5,
+		}}
+		n.RunRound(flows, nil, 1.0)
+		delta := n.Board.DeltaSum(zero, all)
+		for _, v := range delta {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoreTrafficMoreSlowdown(t *testing.T) {
+	// monotonicity: scaling all volumes up never speeds the first flow up
+	n := propertyNet(t)
+	d := n.Topology()
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		nr := d.Cfg.NumRouters()
+		src := topology.RouterID(s.Intn(nr))
+		dst := topology.RouterID(s.Intn(nr))
+		if src == dst {
+			return true
+		}
+		base := s.Uniform(1e8, 2e9)
+		mk := func(scale float64) float64 {
+			flows := []Flow{
+				{Src: src, Dst: dst, Flits: base * scale, Packets: base * scale / 1e3, RequestFraction: 1},
+				{Src: src, Dst: dst, Flits: base * scale, Packets: base * scale / 1e3, RequestFraction: 1},
+			}
+			return n.RunRound(flows, nil, 1.0).Slowdown[0]
+		}
+		lo := mk(1)
+		hi := mk(4)
+		return hi >= lo-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLoadSetScaleLinearity(t *testing.T) {
+	// a LoadSet's link totals scale linearly with flow volume
+	n := propertyNet(t)
+	d := n.Topology()
+	f := func(a, b uint16, rawVol uint32) bool {
+		nr := d.Cfg.NumRouters()
+		src := topology.RouterID(int(a) % nr)
+		dst := topology.RouterID(int(b) % nr)
+		if src == dst {
+			return true
+		}
+		vol := float64(rawVol%1000000) + 1
+		ls1 := n.BuildLoadSet([]Flow{{Src: src, Dst: dst, Flits: vol, Packets: 1, RequestFraction: 1}})
+		ls2 := n.BuildLoadSet([]Flow{{Src: src, Dst: dst, Flits: 2 * vol, Packets: 2, RequestFraction: 1}})
+		if ls1.NumLinks() != ls2.NumLinks() {
+			return false
+		}
+		for i := range ls1.LinkFlits {
+			if math.Abs(ls2.LinkFlits[i]-2*ls1.LinkFlits[i]) > 1e-6*ls1.LinkFlits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,533 @@
+// Package nn implements the performance forecaster of §IV-C: a scalar
+// dot-product attention layer over the feature vectors of the last m time
+// steps, followed by a fully connected network that predicts the total
+// execution time of the next k steps. Training is mini-batch Adam on mean
+// squared error, with manual backpropagation — no external ML runtime.
+//
+// The architecture, per sample (window W ∈ R^{m×H}):
+//
+//	E_t   = norm(W_t)·We + be + pos_t    (embedding, d dims, learnable
+//	                                      positional term)
+//	K_t   = E_t·Wk     V_t = E_t·Wv      (keys and values)
+//	α     = softmax(q·K_t / √d)          (scalar dot-product attention)
+//	c     = Σ_t α_t V_t                  (context)
+//	h     = relu(c·W1 + b1)
+//	ŷ     = h·w2 + b2
+//
+// Inputs and targets are z-score normalized from training statistics.
+// Setting Config.UseAttention to false replaces α with uniform weights
+// (mean pooling) — the ablation baseline.
+package nn
+
+import (
+	"math"
+
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/stats"
+)
+
+// Sample is one forecasting example: the per-step features of the m
+// historical steps and the aggregate target.
+type Sample struct {
+	Steps  [][]float64
+	Target float64
+}
+
+// Config sets the forecaster's hyperparameters.
+type Config struct {
+	EmbedDim     int     // d; default 8
+	HiddenDim    int     // fully connected width; default 16
+	Epochs       int     // default 60
+	BatchSize    int     // default 16
+	LearningRate float64 // Adam step size; default 0.01
+	UseAttention bool    // false = mean pooling ablation
+	MaxSamples   int     // subsample cap for training; 0 = no cap
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 8
+	}
+	if c.HiddenDim <= 0 {
+		c.HiddenDim = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	return c
+}
+
+// Forecaster is a trained model.
+type Forecaster struct {
+	cfg  Config
+	m, h int // window length and feature count
+
+	// parameters, one flat vector with named views
+	params []float64
+	we     []float64 // h×d
+	be     []float64 // d
+	pos    []float64 // m×d learnable positional embeddings
+	wk     []float64 // d×d
+	wv     []float64 // d×d
+	q      []float64 // d
+	w1     []float64 // d×p
+	b1     []float64 // p
+	w2     []float64 // p
+	b2     []float64 // 1
+
+	// normalization statistics from the training set
+	featMu, featSigma []float64
+	yMu, ySigma       float64
+}
+
+// newForecaster allocates parameters with small random init.
+func newForecaster(m, h int, cfg Config, s *rng.Stream) *Forecaster {
+	d, p := cfg.EmbedDim, cfg.HiddenDim
+	total := h*d + d + m*d + d*d + d*d + d + d*p + p + p + 1
+	f := &Forecaster{cfg: cfg, m: m, h: h, params: make([]float64, total)}
+	f.carve()
+	scale := func(fanIn int) float64 { return math.Sqrt(2 / float64(fanIn)) }
+	fill := func(v []float64, sc float64) {
+		for i := range v {
+			v[i] = sc * s.NormFloat64()
+		}
+	}
+	fill(f.we, scale(h))
+	fill(f.pos, 0.1)
+	fill(f.wk, scale(d))
+	fill(f.wv, scale(d))
+	fill(f.q, scale(d))
+	fill(f.w1, scale(d))
+	fill(f.w2, scale(p))
+	return f
+}
+
+// carve sets the parameter views into the flat vector.
+func (f *Forecaster) carve() {
+	d, p := f.cfg.EmbedDim, f.cfg.HiddenDim
+	h := f.h
+	off := 0
+	take := func(n int) []float64 {
+		v := f.params[off : off+n]
+		off += n
+		return v
+	}
+	f.we = take(h * d)
+	f.be = take(d)
+	f.pos = take(f.m * d)
+	f.wk = take(d * d)
+	f.wv = take(d * d)
+	f.q = take(d)
+	f.w1 = take(d * p)
+	f.b1 = take(p)
+	f.w2 = take(p)
+	f.b2 = take(1)
+}
+
+// scratch holds per-sample forward/backward buffers, reused across samples.
+type scratch struct {
+	norm  []float64 // m×h normalized input
+	e     []float64 // m×d embeddings
+	k     []float64 // m×d keys
+	v     []float64 // m×d values
+	score []float64 // m
+	alpha []float64 // m
+	ctx   []float64 // d
+	pre1  []float64 // p
+	hid   []float64 // p
+
+	gE   []float64 // m×d
+	gCtx []float64 // d
+	gPre []float64 // p
+	gSc  []float64 // m
+}
+
+func (f *Forecaster) newScratch() *scratch {
+	d, p := f.cfg.EmbedDim, f.cfg.HiddenDim
+	return &scratch{
+		norm:  make([]float64, f.m*f.h),
+		e:     make([]float64, f.m*d),
+		k:     make([]float64, f.m*d),
+		v:     make([]float64, f.m*d),
+		score: make([]float64, f.m),
+		alpha: make([]float64, f.m),
+		ctx:   make([]float64, d),
+		pre1:  make([]float64, p),
+		hid:   make([]float64, p),
+		gE:    make([]float64, f.m*d),
+		gCtx:  make([]float64, d),
+		gPre:  make([]float64, p),
+		gSc:   make([]float64, f.m),
+	}
+}
+
+// forward computes the normalized-space prediction for one window.
+func (f *Forecaster) forward(steps [][]float64, sc *scratch) float64 {
+	d, p := f.cfg.EmbedDim, f.cfg.HiddenDim
+	m, h := f.m, f.h
+	// normalize
+	for t := 0; t < m; t++ {
+		row := steps[t]
+		for j := 0; j < h; j++ {
+			sc.norm[t*h+j] = (row[j] - f.featMu[j]) / f.featSigma[j]
+		}
+	}
+	// embeddings and projections
+	for t := 0; t < m; t++ {
+		et := sc.e[t*d : (t+1)*d]
+		nt := sc.norm[t*h : (t+1)*h]
+		for a := 0; a < d; a++ {
+			et[a] = f.be[a] + f.pos[t*d+a]
+		}
+		for j := 0; j < h; j++ {
+			x := nt[j]
+			if x == 0 {
+				continue
+			}
+			wrow := f.we[j*d : (j+1)*d]
+			for a := 0; a < d; a++ {
+				et[a] += x * wrow[a]
+			}
+		}
+		kt := sc.k[t*d : (t+1)*d]
+		vt := sc.v[t*d : (t+1)*d]
+		for a := 0; a < d; a++ {
+			var ks, vs float64
+			for b := 0; b < d; b++ {
+				ks += et[b] * f.wk[b*d+a]
+				vs += et[b] * f.wv[b*d+a]
+			}
+			kt[a] = ks
+			vt[a] = vs
+		}
+	}
+	// attention weights
+	if f.cfg.UseAttention {
+		inv := 1 / math.Sqrt(float64(d))
+		for t := 0; t < m; t++ {
+			sc.score[t] = linalg.Dot(f.q, sc.k[t*d:(t+1)*d]) * inv
+		}
+		linalg.Softmax(sc.score, sc.alpha)
+	} else {
+		for t := 0; t < m; t++ {
+			sc.alpha[t] = 1 / float64(m)
+		}
+	}
+	// context
+	for a := 0; a < d; a++ {
+		sc.ctx[a] = 0
+	}
+	for t := 0; t < m; t++ {
+		linalg.Axpy(sc.alpha[t], sc.v[t*d:(t+1)*d], sc.ctx)
+	}
+	// head
+	for j := 0; j < p; j++ {
+		sum := f.b1[j]
+		for a := 0; a < d; a++ {
+			sum += sc.ctx[a] * f.w1[a*p+j]
+		}
+		sc.pre1[j] = sum
+		if sum > 0 {
+			sc.hid[j] = sum
+		} else {
+			sc.hid[j] = 0
+		}
+	}
+	return linalg.Dot(sc.hid, f.w2) + f.b2[0]
+}
+
+// backward accumulates parameter gradients for one sample given the loss
+// gradient dL/dŷ. Must be called right after forward with the same scratch.
+func (f *Forecaster) backward(dOut float64, sc *scratch, grad []float64) {
+	d, p := f.cfg.EmbedDim, f.cfg.HiddenDim
+	m, h := f.m, f.h
+	// carve gradient views (same layout as params)
+	off := 0
+	take := func(n int) []float64 {
+		v := grad[off : off+n]
+		off += n
+		return v
+	}
+	gWe := take(h * d)
+	gBe := take(d)
+	gPos := take(m * d)
+	gWk := take(d * d)
+	gWv := take(d * d)
+	gQ := take(d)
+	gW1 := take(d * p)
+	gB1 := take(p)
+	gW2 := take(p)
+	gB2 := take(1)
+
+	// head
+	gB2[0] += dOut
+	for j := 0; j < p; j++ {
+		gW2[j] += dOut * sc.hid[j]
+		g := dOut * f.w2[j]
+		if sc.pre1[j] <= 0 {
+			g = 0
+		}
+		sc.gPre[j] = g
+		gB1[j] += g
+	}
+	for a := 0; a < d; a++ {
+		var s float64
+		for j := 0; j < p; j++ {
+			g := sc.gPre[j]
+			if g == 0 {
+				continue
+			}
+			gW1[a*p+j] += sc.ctx[a] * g
+			s += f.w1[a*p+j] * g
+		}
+		sc.gCtx[a] = s
+	}
+
+	// attention
+	for i := range sc.gE {
+		sc.gE[i] = 0
+	}
+	if f.cfg.UseAttention {
+		// gAlpha_t = V_t · gCtx; softmax backward
+		var dot float64
+		for t := 0; t < m; t++ {
+			sc.gSc[t] = linalg.Dot(sc.v[t*d:(t+1)*d], sc.gCtx)
+		}
+		for t := 0; t < m; t++ {
+			dot += sc.alpha[t] * sc.gSc[t]
+		}
+		inv := 1 / math.Sqrt(float64(d))
+		for t := 0; t < m; t++ {
+			gScore := sc.alpha[t] * (sc.gSc[t] - dot) * inv
+			kt := sc.k[t*d : (t+1)*d]
+			et := sc.e[t*d : (t+1)*d]
+			// q and K gradients
+			for a := 0; a < d; a++ {
+				gQ[a] += gScore * kt[a]
+			}
+			// gK_t = gScore * q → backprop through Wk into E
+			for a := 0; a < d; a++ {
+				gk := gScore * f.q[a]
+				if gk == 0 {
+					continue
+				}
+				for b := 0; b < d; b++ {
+					gWk[b*d+a] += et[b] * gk
+					sc.gE[t*d+b] += f.wk[b*d+a] * gk
+				}
+			}
+		}
+	}
+	// values: gV_t = alpha_t * gCtx → through Wv into E
+	for t := 0; t < m; t++ {
+		at := sc.alpha[t]
+		if at == 0 {
+			continue
+		}
+		et := sc.e[t*d : (t+1)*d]
+		for a := 0; a < d; a++ {
+			gv := at * sc.gCtx[a]
+			if gv == 0 {
+				continue
+			}
+			for b := 0; b < d; b++ {
+				gWv[b*d+a] += et[b] * gv
+				sc.gE[t*d+b] += f.wv[b*d+a] * gv
+			}
+		}
+	}
+	// embeddings
+	for t := 0; t < m; t++ {
+		nt := sc.norm[t*h : (t+1)*h]
+		ge := sc.gE[t*d : (t+1)*d]
+		for a := 0; a < d; a++ {
+			gBe[a] += ge[a]
+			gPos[t*d+a] += ge[a]
+		}
+		for j := 0; j < h; j++ {
+			x := nt[j]
+			if x == 0 {
+				continue
+			}
+			wrow := gWe[j*d : (j+1)*d]
+			for a := 0; a < d; a++ {
+				wrow[a] += x * ge[a]
+			}
+		}
+	}
+}
+
+// Train fits a forecaster to the samples. All samples must share the same
+// window shape. The stream drives initialization, shuffling, and the
+// optional subsampling.
+func Train(samples []Sample, cfg Config, s *rng.Stream) *Forecaster {
+	cfg = cfg.withDefaults()
+	if len(samples) == 0 {
+		panic("nn: no training samples")
+	}
+	if cfg.MaxSamples > 0 && len(samples) > cfg.MaxSamples {
+		idx := s.Perm(len(samples))[:cfg.MaxSamples]
+		sub := make([]Sample, cfg.MaxSamples)
+		for i, j := range idx {
+			sub[i] = samples[j]
+		}
+		samples = sub
+	}
+	m := len(samples[0].Steps)
+	h := len(samples[0].Steps[0])
+	f := newForecaster(m, h, cfg, s)
+
+	// normalization statistics
+	f.featMu = make([]float64, h)
+	f.featSigma = make([]float64, h)
+	var ws stats.Welford
+	col := make([]stats.Welford, h)
+	for _, smp := range samples {
+		ws.Add(smp.Target)
+		for _, row := range smp.Steps {
+			for j, v := range row {
+				col[j].Add(v)
+			}
+		}
+	}
+	f.yMu, f.ySigma = ws.Mean(), ws.Std()
+	if f.ySigma == 0 {
+		f.ySigma = 1
+	}
+	for j := 0; j < h; j++ {
+		f.featMu[j] = col[j].Mean()
+		f.featSigma[j] = col[j].Std()
+		if f.featSigma[j] == 0 {
+			f.featSigma[j] = 1
+		}
+	}
+
+	// Adam state
+	grad := make([]float64, len(f.params))
+	mAdam := make([]float64, len(f.params))
+	vAdam := make([]float64, len(f.params))
+	beta1, beta2, eps := 0.9, 0.999, 1e-8
+	step := 0
+	sc := f.newScratch()
+
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		s.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			for i := range grad {
+				grad[i] = 0
+			}
+			for _, oi := range order[lo:hi] {
+				smp := samples[oi]
+				pred := f.forward(smp.Steps, sc)
+				target := (smp.Target - f.yMu) / f.ySigma
+				dOut := 2 * (pred - target) / float64(hi-lo)
+				f.backward(dOut, sc, grad)
+			}
+			step++
+			c1 := 1 - math.Pow(beta1, float64(step))
+			c2 := 1 - math.Pow(beta2, float64(step))
+			for i := range f.params {
+				g := grad[i]
+				mAdam[i] = beta1*mAdam[i] + (1-beta1)*g
+				vAdam[i] = beta2*vAdam[i] + (1-beta2)*g*g
+				f.params[i] -= cfg.LearningRate * (mAdam[i] / c1) / (math.Sqrt(vAdam[i]/c2) + eps)
+			}
+		}
+	}
+	return f
+}
+
+// Predict returns the forecast (in target units) for one window,
+// clamped to be non-negative (execution times cannot be negative, and the
+// clamp keeps extrapolation outside the training regime sane).
+func (f *Forecaster) Predict(steps [][]float64) float64 {
+	sc := f.newScratch()
+	return clampPred(f.forward(steps, sc)*f.ySigma + f.yMu)
+}
+
+// PredictAll returns forecasts for many samples, reusing buffers.
+func (f *Forecaster) PredictAll(samples []Sample) []float64 {
+	sc := f.newScratch()
+	out := make([]float64, len(samples))
+	for i, smp := range samples {
+		out[i] = clampPred(f.forward(smp.Steps, sc)*f.ySigma + f.yMu)
+	}
+	return out
+}
+
+// clampPred floors predictions at zero.
+func clampPred(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MAPE evaluates the model on samples and returns the mean absolute
+// percentage error (the metric of Figures 8 and 10).
+func (f *Forecaster) MAPE(samples []Sample) float64 {
+	pred := f.PredictAll(samples)
+	obs := make([]float64, len(samples))
+	for i, smp := range samples {
+		obs[i] = smp.Target
+	}
+	return stats.MAPE(pred, obs)
+}
+
+// AttentionWeights returns the attention distribution over the m window
+// positions for one sample (uniform when attention is disabled).
+func (f *Forecaster) AttentionWeights(steps [][]float64) []float64 {
+	sc := f.newScratch()
+	f.forward(steps, sc)
+	out := make([]float64, f.m)
+	copy(out, sc.alpha)
+	return out
+}
+
+// PermutationImportance measures each feature column's contribution: the
+// increase in MAPE when that column is shuffled across samples (at every
+// window position). Larger is more important; floors at 0.
+func (f *Forecaster) PermutationImportance(samples []Sample, s *rng.Stream) []float64 {
+	base := f.MAPE(samples)
+	out := make([]float64, f.h)
+	perm := make([]int, len(samples))
+	for j := 0; j < f.h; j++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		s.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		shuffled := make([]Sample, len(samples))
+		for i := range samples {
+			src := samples[perm[i]]
+			steps := make([][]float64, f.m)
+			for t := 0; t < f.m; t++ {
+				row := make([]float64, f.h)
+				copy(row, samples[i].Steps[t])
+				row[j] = src.Steps[t][j]
+				steps[t] = row
+			}
+			shuffled[i] = Sample{Steps: steps, Target: samples[i].Target}
+		}
+		delta := f.MAPE(shuffled) - base
+		if delta < 0 {
+			delta = 0
+		}
+		out[j] = delta
+	}
+	return out
+}

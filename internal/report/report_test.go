@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-long", 1234567.0)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Name") || !strings.Contains(out, "Value") {
+		t.Fatal("missing headers")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("missing row data:\n%s", out)
+	}
+	if !strings.Contains(out, "1234567") {
+		t.Fatal("large floats should render without decimals")
+	}
+	// columns aligned: "beta-long" defines width of column 0
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "beta-long") {
+		t.Fatalf("unexpected last row: %q", last)
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tb := NewTable("")
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Fatal("divider without headers")
+	}
+	if !strings.Contains(out, "x  y") {
+		t.Fatalf("row mis-rendered: %q", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("chart", []string{"a", "bb"}, []float64{1, 2}, 10)
+	if !strings.Contains(out, "chart") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	aHashes := strings.Count(lines[1], "#")
+	bHashes := strings.Count(lines[2], "#")
+	if bHashes != 10 || aHashes != 5 {
+		t.Fatalf("bar lengths: a=%d b=%d", aHashes, bHashes)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value should have no bar")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	s := Spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("spark length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("spark endpoints wrong: %q", s)
+	}
+	if Spark(nil) != "" {
+		t.Fatal("empty spark should be empty")
+	}
+	// constant series: all minimum glyph, no panic
+	c := Spark([]float64{5, 5, 5})
+	for _, r := range c {
+		if r != '▁' {
+			t.Fatalf("constant spark = %q", c)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("lbl", []float64{1, 2, 3})
+	if !strings.Contains(out, "lbl") || !strings.Contains(out, "min 1") || !strings.Contains(out, "max 3") {
+		t.Fatalf("series = %q", out)
+	}
+	if !strings.Contains(Series("x", nil), "empty") {
+		t.Fatal("empty series should say so")
+	}
+}

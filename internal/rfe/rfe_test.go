@@ -1,0 +1,143 @@
+package rfe
+
+import (
+	"testing"
+
+	"dragonvar/internal/gbr"
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/tree"
+)
+
+// mkData: y depends strongly on features 0 and 1, weakly on 2, not at all
+// on 3..5.
+func mkData(n int, s *rng.Stream) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 6)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 6; j++ {
+			x.Set(i, j, s.Float64())
+		}
+		y[i] = 8*x.At(i, 0) + 6*x.At(i, 1) + 0.5*x.At(i, 2) + 0.05*s.NormFloat64()
+	}
+	return x, y
+}
+
+func fastOpts() Options {
+	return Options{
+		Folds: 4,
+		GBR: gbr.Options{
+			NumTrees: 15,
+			Tree:     tree.Options{MaxDepth: 3},
+		},
+	}
+}
+
+func TestRelevanceIdentifiesSignalFeatures(t *testing.T) {
+	s := rng.New(1)
+	x, y := mkData(600, s)
+	res := Run(x, y, fastOpts(), rng.New(2))
+	if len(res.Relevance) != 6 {
+		t.Fatalf("relevance length = %d", len(res.Relevance))
+	}
+	for f, v := range res.Relevance {
+		if v < 0 || v > 1 {
+			t.Fatalf("relevance[%d] = %v out of [0,1]", f, v)
+		}
+	}
+	// the strong features must outrank all junk features
+	for _, strong := range []int{0, 1} {
+		for _, junk := range []int{3, 4, 5} {
+			if res.Relevance[strong] < res.Relevance[junk] {
+				t.Fatalf("relevance ranks junk %d over signal %d: %v", junk, strong, res.Relevance)
+			}
+		}
+	}
+	if res.Relevance[0] < 0.9 {
+		t.Fatalf("dominant feature relevance = %v, want near 1", res.Relevance[0])
+	}
+}
+
+func TestEliminationOrderComplete(t *testing.T) {
+	s := rng.New(3)
+	x, y := mkData(400, s)
+	opt := fastOpts()
+	res := Run(x, y, opt, rng.New(4))
+	if len(res.Elimination) != opt.Folds {
+		t.Fatalf("elimination folds = %d", len(res.Elimination))
+	}
+	for f, order := range res.Elimination {
+		if len(order) != 6 {
+			t.Fatalf("fold %d eliminated %d features, want 6", f, len(order))
+		}
+		seen := map[int]bool{}
+		for _, feat := range order {
+			if feat < 0 || feat >= 6 || seen[feat] {
+				t.Fatalf("fold %d has invalid elimination order %v", f, order)
+			}
+			seen[feat] = true
+		}
+		// the strongest feature should survive to (almost) the end
+		lastTwo := map[int]bool{order[4]: true, order[5]: true}
+		if !lastTwo[0] && !lastTwo[1] {
+			t.Fatalf("fold %d eliminated both strong features early: %v", f, order)
+		}
+	}
+}
+
+func TestOOFPredictionsReasonable(t *testing.T) {
+	s := rng.New(5)
+	x, y := mkData(500, s)
+	res := Run(x, y, fastOpts(), rng.New(6))
+	if len(res.OOFPred) != 500 {
+		t.Fatalf("OOFPred length = %d", len(res.OOFPred))
+	}
+	var sse, sst float64
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for i := range y {
+		d := res.OOFPred[i] - y[i]
+		sse += d * d
+		dm := y[i] - mean
+		sst += dm * dm
+	}
+	if r2 := 1 - sse/sst; r2 < 0.7 {
+		t.Fatalf("out-of-fold R^2 = %v", r2)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	s := rng.New(7)
+	x, y := mkData(300, s)
+	a := Run(x, y, fastOpts(), rng.New(8))
+	b := Run(x, y, fastOpts(), rng.New(8))
+	for f := range a.Relevance {
+		if a.Relevance[f] != b.Relevance[f] {
+			t.Fatal("RFE not deterministic under identical seeds")
+		}
+	}
+	for i := range a.OOFPred {
+		if a.OOFPred[i] != b.OOFPred[i] {
+			t.Fatal("OOF predictions not deterministic")
+		}
+	}
+}
+
+func TestWorkerPoolBounded(t *testing.T) {
+	// smoke: explicit worker count must work and agree with defaults
+	s := rng.New(9)
+	x, y := mkData(200, s)
+	opt := fastOpts()
+	opt.Workers = 2
+	a := Run(x, y, opt, rng.New(10))
+	opt.Workers = 1
+	b := Run(x, y, opt, rng.New(10))
+	for f := range a.Relevance {
+		if a.Relevance[f] != b.Relevance[f] {
+			t.Fatal("worker count must not change results")
+		}
+	}
+}

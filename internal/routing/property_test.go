@@ -1,0 +1,126 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// Property tests: for arbitrary router pairs, every produced path must be
+// valid (link-continuous, ending at the destination) and minimal paths
+// must respect the dragonfly diameter.
+
+func TestPropertyMinimalPathsValid(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(d)
+	nr := d.Cfg.NumRouters()
+
+	f := func(rawA, rawB uint16, seed int64) bool {
+		a := topology.RouterID(int(rawA) % nr)
+		b := topology.RouterID(int(rawB) % nr)
+		s := rng.New(seed)
+		for _, p := range e.MinimalPaths(a, b, 4, s) {
+			if !pathValid(d, a, b, p) {
+				return false
+			}
+			// dragonfly minimal diameter: 2 intra + 1 global + 2 intra
+			if p.Hops() > 5 {
+				return false
+			}
+			if !p.Minimal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyValiantPathsValid(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(d)
+	nr := d.Cfg.NumRouters()
+
+	f := func(rawA, rawB uint16, seed int64) bool {
+		a := topology.RouterID(int(rawA) % nr)
+		b := topology.RouterID(int(rawB) % nr)
+		if a == b {
+			return true
+		}
+		s := rng.New(seed)
+		for _, p := range e.ValiantPaths(a, b, 2, s) {
+			if !pathValid(d, a, b, p) {
+				return false
+			}
+			if p.Minimal {
+				return false
+			}
+			// valiant diameter: ≤ 2+1+2+1+2
+			if p.Hops() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySplitWeightsDistribution(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(d)
+	nr := d.Cfg.NumRouters()
+
+	f := func(rawA, rawB uint16, loadSeed int64) bool {
+		a := topology.RouterID(int(rawA) % nr)
+		b := topology.RouterID(int(rawB) % nr)
+		if a == b {
+			return true
+		}
+		s := rng.New(loadSeed)
+		paths := e.MinimalPaths(a, b, 4, nil)
+		load := func(l topology.LinkID) float64 { return s.Float64() * 10 }
+		w := SplitWeights(paths, load, nil)
+		var sum float64
+		for _, v := range w {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// pathValid replicates the validation helper without test dependencies.
+func pathValid(d *topology.Dragonfly, src, dst topology.RouterID, p Path) bool {
+	cur := src
+	for _, id := range p.Links {
+		if id < 0 || int(id) >= len(d.Links) {
+			return false
+		}
+		l := d.Links[id]
+		if l.A != cur && l.B != cur {
+			return false
+		}
+		cur = l.Other(cur)
+	}
+	return cur == dst
+}

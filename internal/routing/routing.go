@@ -1,0 +1,274 @@
+// Package routing enumerates dragonfly paths and implements the adaptive
+// (UGAL-style) path choice used by Cray XC systems: for every packet a
+// router can choose among several shortest and non-minimal paths, and the
+// choice is driven by the back pressure currently observed on the candidate
+// links (§II-A of the paper).
+//
+// The Engine is purely combinatorial: it produces candidate paths as
+// sequences of link IDs. Load-aware selection takes the caller's view of
+// per-link congestion as a function, so the flow simulator (package netsim)
+// can plug in its current utilization estimates.
+package routing
+
+import (
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// Path is a route between two routers as an ordered list of traversed
+// links. An empty Links slice is the degenerate path from a router to
+// itself. Minimal records whether the path is a shortest dragonfly route
+// (as opposed to a Valiant detour through an intermediate group).
+type Path struct {
+	Links   []topology.LinkID
+	Minimal bool
+}
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int { return len(p.Links) }
+
+// Engine answers path queries against a wired dragonfly.
+type Engine struct {
+	d *topology.Dragonfly
+}
+
+// NewEngine returns a path engine for machine d.
+func NewEngine(d *topology.Dragonfly) *Engine { return &Engine{d: d} }
+
+// Machine returns the underlying dragonfly.
+func (e *Engine) Machine() *topology.Dragonfly { return e.d }
+
+// IntraGroupPaths returns the minimal paths between two routers of the
+// same group: the direct green or black link when the routers share a row
+// or column, and otherwise the two two-hop corner routes (green-then-black
+// and black-then-green). Panics if the routers are in different groups.
+func (e *Engine) IntraGroupPaths(a, b topology.RouterID) []Path {
+	d := e.d
+	if d.Group(a) != d.Group(b) {
+		panic("routing: IntraGroupPaths across groups")
+	}
+	if a == b {
+		return []Path{{Minimal: true}}
+	}
+	ra, ca := d.Row(a), d.Col(a)
+	rb, cb := d.Row(b), d.Col(b)
+	switch {
+	case ra == rb:
+		return []Path{{Links: []topology.LinkID{d.RowLink(a, cb)}, Minimal: true}}
+	case ca == cb:
+		return []Path{{Links: []topology.LinkID{d.ColLink(a, rb)}, Minimal: true}}
+	default:
+		g := d.Group(a)
+		corner1 := d.RouterAt(g, ra, cb) // row move first
+		corner2 := d.RouterAt(g, rb, ca) // column move first
+		return []Path{
+			{Links: []topology.LinkID{d.RowLink(a, cb), d.ColLink(corner1, rb)}, Minimal: true},
+			{Links: []topology.LinkID{d.ColLink(a, rb), d.RowLink(corner2, cb)}, Minimal: true},
+		}
+	}
+}
+
+// intraFirst returns one minimal intra-group path (the row-first variant).
+func (e *Engine) intraFirst(a, b topology.RouterID) Path {
+	return e.IntraGroupPaths(a, b)[0]
+}
+
+// concat joins path segments into one path.
+func concat(minimal bool, segs ...[]topology.LinkID) Path {
+	var n int
+	for _, s := range segs {
+		n += len(s)
+	}
+	links := make([]topology.LinkID, 0, n)
+	for _, s := range segs {
+		links = append(links, s...)
+	}
+	return Path{Links: links, Minimal: minimal}
+}
+
+// globalSegment builds the path a → (blue link l) → b where l connects the
+// groups of a and b: intra(a→x) + l + intra(y→b), with x the endpoint of l
+// in a's group. variant alternates between the two-hop corner routes of
+// the intra-group segments so different candidates do not funnel through
+// the same first link.
+func (e *Engine) globalSegment(a, b topology.RouterID, l topology.LinkID, minimal bool, variant int) Path {
+	d := e.d
+	link := d.Links[l]
+	x, y := link.A, link.B
+	if d.Group(x) != d.Group(a) {
+		x, y = y, x
+	}
+	heads := e.IntraGroupPaths(a, x)
+	tails := e.IntraGroupPaths(y, b)
+	head := heads[variant%len(heads)]
+	tail := tails[variant%len(tails)]
+	return concat(minimal, head.Links, []topology.LinkID{l}, tail.Links)
+}
+
+// MinimalPaths returns up to maxCandidates minimal paths from a to b. For
+// routers in the same group these are the intra-group routes; across groups,
+// one candidate per sampled blue link between the two groups. The stream
+// picks which blue links are sampled (pass nil for a deterministic prefix).
+func (e *Engine) MinimalPaths(a, b topology.RouterID, maxCandidates int, s *rng.Stream) []Path {
+	d := e.d
+	if maxCandidates < 1 {
+		maxCandidates = 1
+	}
+	ga, gb := d.Group(a), d.Group(b)
+	if ga == gb {
+		paths := e.IntraGroupPaths(a, b)
+		if len(paths) > maxCandidates {
+			paths = paths[:maxCandidates]
+		}
+		return paths
+	}
+	blues := d.GlobalBetween(ga, gb)
+	idxs := sampleIndices(len(blues), maxCandidates, s)
+	paths := make([]Path, 0, len(idxs))
+	for k, i := range idxs {
+		paths = append(paths, e.globalSegment(a, b, blues[i], true, k))
+	}
+	return paths
+}
+
+// ValiantPaths returns up to maxCandidates non-minimal paths from a to b
+// through random intermediate groups (the classic Valiant detour used by
+// adaptive dragonfly routing when minimal links are congested). For routers
+// in the same group it detours through a random other group. The stream
+// must be non-nil.
+func (e *Engine) ValiantPaths(a, b topology.RouterID, maxCandidates int, s *rng.Stream) []Path {
+	d := e.d
+	g := d.Cfg.Groups
+	ga, gb := d.Group(a), d.Group(b)
+	paths := make([]Path, 0, maxCandidates)
+	for attempt := 0; attempt < 4*maxCandidates && len(paths) < maxCandidates; attempt++ {
+		gi := topology.GroupID(s.Intn(g))
+		if gi == ga || gi == gb {
+			continue
+		}
+		b1 := d.GlobalBetween(ga, gi)
+		b2 := d.GlobalBetween(gi, gb)
+		if len(b1) == 0 || len(b2) == 0 {
+			continue
+		}
+		l1 := b1[s.Intn(len(b1))]
+		l2 := b2[s.Intn(len(b2))]
+		// a → (l1) → arrival in gi → (l2) → arrival in gb → b
+		link1 := d.Links[l1]
+		x1, y1 := link1.A, link1.B
+		if d.Group(x1) != ga {
+			x1, y1 = y1, x1
+		}
+		link2 := d.Links[l2]
+		x2, y2 := link2.A, link2.B
+		if d.Group(x2) != gi {
+			x2, y2 = y2, x2
+		}
+		head := e.intraFirst(a, x1)
+		mid := e.intraFirst(y1, x2)
+		tail := e.intraFirst(y2, b)
+		paths = append(paths, concat(false,
+			head.Links, []topology.LinkID{l1}, mid.Links, []topology.LinkID{l2}, tail.Links))
+	}
+	return paths
+}
+
+// CandidateOptions bounds the candidate set built by Candidates.
+type CandidateOptions struct {
+	MaxMinimal int // minimal candidates (default 4)
+	MaxValiant int // non-minimal candidates (default 2); 0 disables Valiant
+}
+
+// Candidates returns the adaptive-routing candidate set for a flow from a
+// to b: a handful of minimal paths plus (optionally) Valiant detours.
+func (e *Engine) Candidates(a, b topology.RouterID, opt CandidateOptions, s *rng.Stream) []Path {
+	if opt.MaxMinimal <= 0 {
+		opt.MaxMinimal = 4
+	}
+	paths := e.MinimalPaths(a, b, opt.MaxMinimal, s)
+	if opt.MaxValiant > 0 && a != b {
+		paths = append(paths, e.ValiantPaths(a, b, opt.MaxValiant, s)...)
+	}
+	return paths
+}
+
+// LoadFunc reports the caller's current congestion estimate for a link,
+// in stall-inducing utilization units (0 = idle).
+type LoadFunc func(topology.LinkID) float64
+
+// PathCost is the UGAL-style cost of sending on a path under the given
+// loads: each hop costs 1 plus the congestion backlog on its link.
+// Non-minimal paths naturally cost more through their extra hops.
+func PathCost(p Path, load LoadFunc) float64 {
+	cost := 0.0
+	for _, l := range p.Links {
+		cost += 1 + load(l)
+	}
+	return cost
+}
+
+// Select returns the index of the cheapest candidate under the loads,
+// mimicking adaptive routing's back-pressure-driven choice. Ties go to the
+// earliest candidate (which, by construction, is minimal).
+func Select(paths []Path, load LoadFunc) int {
+	best := -1
+	bestCost := 0.0
+	for i, p := range paths {
+		c := PathCost(p, load)
+		if best == -1 || c < bestCost {
+			best = i
+			bestCost = c
+		}
+	}
+	return best
+}
+
+// SplitWeights apportions a flow across the candidate paths with weights
+// inversely proportional to path cost, normalized to sum to 1. This models
+// per-packet adaptive routing at flow granularity: most traffic takes the
+// least-loaded route but congested alternatives still carry a share.
+func SplitWeights(paths []Path, load LoadFunc, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(paths))
+	}
+	var total float64
+	for i, p := range paths {
+		w := 1 / (PathCost(p, load) + 1e-9)
+		dst[i] = w
+		total += w
+	}
+	if total > 0 {
+		for i := range dst {
+			dst[i] /= total
+		}
+	}
+	return dst
+}
+
+// sampleIndices returns up to k distinct indices in [0, n). With a nil
+// stream it returns the prefix 0..min(k,n)-1; otherwise a random subset.
+func sampleIndices(n, k int, s *rng.Stream) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	if s == nil || k == n {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// partial Fisher-Yates over an index array
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,162 @@
+package slurm
+
+import (
+	"sort"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// Allocator manages the free compute-node pool (KNL and Haswell nodes;
+// I/O service nodes are never allocated to jobs). Allocation compactness is
+// tunable: production Slurm on Cori hands out allocations of varying
+// fragmentation, which is exactly what gives the NUM_ROUTERS / NUM_GROUPS
+// placement features their variance.
+type Allocator struct {
+	topo *topology.Dragonfly
+
+	// freeByGroup[g] holds the free nodes of group g; position[n] is the
+	// index of node n within its group slice (-1 when allocated).
+	freeByGroup [][]topology.NodeID
+	position    map[topology.NodeID]int
+	freeTotal   int
+}
+
+// NewAllocator returns an allocator with every compute node free.
+func NewAllocator(topo *topology.Dragonfly) *Allocator {
+	a := &Allocator{
+		topo:        topo,
+		freeByGroup: make([][]topology.NodeID, topo.Cfg.Groups),
+		position:    make(map[topology.NodeID]int),
+	}
+	for _, class := range []topology.NodeClass{topology.KNL, topology.Haswell} {
+		for _, n := range topo.ComputeNodes(class) {
+			g := topo.Group(topo.RouterOfNode(n))
+			a.position[n] = len(a.freeByGroup[g])
+			a.freeByGroup[g] = append(a.freeByGroup[g], n)
+			a.freeTotal++
+		}
+	}
+	return a
+}
+
+// FreeCount returns the number of free nodes.
+func (a *Allocator) FreeCount() int { return a.freeTotal }
+
+// IsFree reports whether node n is currently free.
+func (a *Allocator) IsFree(n topology.NodeID) bool {
+	idx, ok := a.position[n]
+	return ok && idx >= 0
+}
+
+// take removes node at index idx of group g's free list.
+func (a *Allocator) take(g topology.GroupID, idx int) topology.NodeID {
+	list := a.freeByGroup[g]
+	n := list[idx]
+	last := len(list) - 1
+	list[idx] = list[last]
+	a.position[list[idx]] = idx
+	a.freeByGroup[g] = list[:last]
+	a.position[n] = -1
+	a.freeTotal--
+	return n
+}
+
+// Alloc grabs n free nodes and returns them, or nil when fewer than n are
+// free. compact in [0,1] steers fragmentation: near 1 the allocation
+// drains whole groups in sequence (few groups, few routers); near 0 it
+// scatters nodes over many groups, like a busy production machine
+// backfilling holes.
+func (a *Allocator) Alloc(n int, compact float64, s *rng.Stream) []topology.NodeID {
+	if n <= 0 || n > a.freeTotal {
+		return nil
+	}
+	if compact < 0 {
+		compact = 0
+	} else if compact > 1 {
+		compact = 1
+	}
+	groups := s.Perm(len(a.freeByGroup))
+	// spread: how many groups to stripe across (1 = fill group by group)
+	spread := 1 + int((1-compact)*7)
+	perGroup := (n + spread - 1) / spread
+
+	out := make([]topology.NodeID, 0, n)
+	for len(out) < n {
+		progress := false
+		for _, g := range groups {
+			if len(out) >= n {
+				break
+			}
+			list := a.freeByGroup[g]
+			if len(list) == 0 {
+				continue
+			}
+			want := perGroup
+			if want > n-len(out) {
+				want = n - len(out)
+			}
+			if want > len(list) {
+				want = len(list)
+			}
+			for i := 0; i < want; i++ {
+				idx := s.Intn(len(a.freeByGroup[g]))
+				out = append(out, a.take(topology.GroupID(g), idx))
+			}
+			if want > 0 {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if len(out) < n {
+		// cannot happen given the freeTotal check, but stay safe
+		a.Free(out)
+		return nil
+	}
+	return out
+}
+
+// AllocAvoiding behaves like Alloc but never hands out nodes in the busy
+// set. Used when placing instrumented jobs into a pre-generated timeline.
+func (a *Allocator) AllocAvoiding(n int, compact float64, busy map[topology.NodeID]bool, s *rng.Stream) []topology.NodeID {
+	if len(busy) == 0 {
+		return a.Alloc(n, compact, s)
+	}
+	// temporarily remove the busy nodes that are currently free; iterate in
+	// sorted order so allocator state stays deterministic
+	busyList := make([]topology.NodeID, 0, len(busy))
+	for node := range busy {
+		busyList = append(busyList, node)
+	}
+	sort.Slice(busyList, func(i, j int) bool { return busyList[i] < busyList[j] })
+	var removed []topology.NodeID
+	for _, node := range busyList {
+		if a.IsFree(node) {
+			g := a.topo.Group(a.topo.RouterOfNode(node))
+			a.take(g, a.position[node])
+			removed = append(removed, node)
+		}
+	}
+	out := a.Alloc(n, compact, s)
+	a.Free(removed)
+	return out
+}
+
+// Free returns nodes to the pool. Freeing an already-free node panics:
+// that is always a double-release bug in the caller.
+func (a *Allocator) Free(nodes []topology.NodeID) {
+	for _, n := range nodes {
+		if idx, ok := a.position[n]; !ok {
+			panic("slurm: freeing unknown node")
+		} else if idx >= 0 {
+			panic("slurm: double free of node")
+		}
+		g := a.topo.Group(a.topo.RouterOfNode(n))
+		a.position[n] = len(a.freeByGroup[g])
+		a.freeByGroup[g] = append(a.freeByGroup[g], n)
+		a.freeTotal++
+	}
+}

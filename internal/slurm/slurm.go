@@ -1,0 +1,473 @@
+// Package slurm models the production side of the machine: the user
+// population, their job streams, node allocation, and the sacct-style job
+// queue log the paper mines for its neighborhood analysis (§III-C, §IV-A).
+//
+// The roster contains synthetic users whose workloads play the roles the
+// paper identified on Cori: a genome-assembly pipeline that is both
+// communication-intensive and filesystem-heavy (the paper's User 2 running
+// HipMer), climate modeling (User 11, E3SM), a particle-mesh N-body solver
+// with frequent allreduces and burst-buffer I/O (User 9, FastPM), several
+// material-science users (Users 6, 10, 14), and a long tail of light users.
+// The campaign's own controlled jobs are submitted under User 8 (the paper:
+// "User 8 is Bhatele"), so the neighborhood analysis can rediscover
+// self-interference between our own jobs.
+package slurm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dragonvar/internal/mpi"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// SelfUserID is the anonymized ID under which the campaign's controlled
+// jobs appear in the queue log (User 8 in Table III).
+const SelfUserID = 8
+
+// User is one synthetic production user.
+type User struct {
+	ID       int    // anonymized numeric ID; "User-<ID>" in reports
+	AppName  string // the job name its submissions carry
+	Workload Workload
+}
+
+// Name returns the anonymized user name used in Table III.
+func (u *User) Name() string { return fmt.Sprintf("User-%d", u.ID) }
+
+// Workload parameterizes a user's job stream and traffic behaviour.
+type Workload struct {
+	JobsPerDay float64 // mean job submissions per day (Poisson)
+
+	NodesMin, NodesMax int     // job size range (log-uniform)
+	MeanDurationSec    float64 // mean job duration (lognormal, sigma 0.5)
+
+	// Traffic at unit intensity.
+	BytesPerNodePerSec   float64 // MPI traffic volume
+	MsgBytes             float64 // typical message size
+	IOBytesPerNodePerSec float64 // filesystem traffic toward I/O routers
+	ReqFraction          float64 // request-VC share
+
+	// Intensity modulation: an AR(1) process per job, minute resolution.
+	// This is what makes congestion autocorrelated across application time
+	// steps — the property the forecaster exploits.
+	IntensityRho float64
+	IntensityStd float64
+
+	Fanout int // irregular communication fanout (node-level)
+}
+
+// commHeavy reports whether the user's jobs are heavy network citizens
+// (used only by tests and reports).
+func (w Workload) CommHeavy() bool { return w.BytesPerNodePerSec >= 1e9 }
+
+// Roster returns the synthetic user population. IDs 1–14 are the
+// "qualified" users of Table III (ID 8 is reserved for the campaign's own
+// jobs and is not in the roster); IDs 15+ are the light tail.
+func Roster() []*User {
+	heavy := func(app string, id int, jobsPerDay, bytesPerNode float64, msg float64, io float64, nmin, nmax int, dur float64, fanout int) *User {
+		return &User{ID: id, AppName: app, Workload: Workload{
+			JobsPerDay: jobsPerDay,
+			NodesMin:   nmin, NodesMax: nmax,
+			MeanDurationSec:      dur,
+			BytesPerNodePerSec:   bytesPerNode,
+			MsgBytes:             msg,
+			IOBytesPerNodePerSec: io,
+			ReqFraction:          0.8,
+			IntensityRho:         0.93,
+			IntensityStd:         0.45,
+			Fanout:               fanout,
+		}}
+	}
+	users := []*User{
+		// the recurring heavy hitters of Table III
+		heavy("hipmer", 2, 3.0, 2.6e9, 4096, 5e8, 256, 1024, 6*3600, 10),
+		heavy("e3sm", 11, 2.5, 2.2e9, 32768, 2e8, 256, 1024, 8*3600, 8),
+		heavy("fastpm", 9, 2.0, 1.7e9, 1024, 6e8, 256, 768, 5*3600, 8),
+		heavy("vasp", 6, 2.5, 1.5e9, 8192, 3e8, 128, 512, 6*3600, 8),
+		heavy("qe_scf", 10, 2.5, 1.5e9, 8192, 3e8, 128, 512, 6*3600, 8),
+		heavy("lammps_ms", 14, 2.0, 1.4e9, 16384, 2.5e8, 128, 512, 7*3600, 8),
+		// users that appear in one or two Table III lists
+		heavy("chroma", 1, 2.0, 1.1e9, 32768, 1e8, 128, 384, 5*3600, 6),
+		heavy("nwchem", 3, 2.0, 1.0e9, 8192, 1.5e8, 128, 384, 5*3600, 6),
+		heavy("gromacs", 4, 1.5, 0.9e9, 8192, 1e8, 128, 256, 4*3600, 6),
+		heavy("castro", 5, 1.5, 0.9e9, 16384, 2e8, 128, 256, 4*3600, 6),
+		heavy("wrf", 7, 1.5, 0.8e9, 16384, 1.5e8, 128, 256, 4*3600, 6),
+		heavy("athena", 12, 1.5, 0.8e9, 8192, 1e8, 128, 256, 4*3600, 6),
+		heavy("flash", 13, 1.5, 0.7e9, 8192, 1e8, 128, 256, 4*3600, 6),
+	}
+	// light tail: small, quiet jobs that should NOT show up in Table III
+	for id := 15; id <= 40; id++ {
+		users = append(users, &User{ID: id, AppName: fmt.Sprintf("job_%d", id), Workload: Workload{
+			JobsPerDay: 4.0,
+			NodesMin:   4, NodesMax: 64,
+			MeanDurationSec:      2 * 3600,
+			BytesPerNodePerSec:   1.5e8,
+			MsgBytes:             8192,
+			IOBytesPerNodePerSec: 2e7,
+			ReqFraction:          0.8,
+			IntensityRho:         0.9,
+			IntensityStd:         0.3,
+			Fanout:               4,
+		}})
+	}
+	return users
+}
+
+// Job is one placed background job.
+type Job struct {
+	ID     int
+	User   *User
+	Nodes  []topology.NodeID
+	Start  float64 // seconds since campaign epoch
+	End    float64
+	Load   *netsim.LoadSet // unit-intensity network footprint
+	booked float64         // per-second unit scale (flits/s at intensity 1)
+
+	intensity []float64 // per-minute AR(1) intensity factors
+}
+
+// Duration returns the job's wall time in seconds.
+func (j *Job) Duration() float64 { return j.End - j.Start }
+
+// Overlaps reports whether the job runs during any part of [t0, t1).
+func (j *Job) Overlaps(t0, t1 float64) bool { return j.Start < t1 && j.End > t0 }
+
+// IntensityAt returns the job's traffic intensity factor at absolute time
+// t (1.0 is nominal), or 0 outside its lifetime.
+func (j *Job) IntensityAt(t float64) float64 {
+	if t < j.Start || t >= j.End || len(j.intensity) == 0 {
+		return 0
+	}
+	min := int((t - j.Start) / 60)
+	if min >= len(j.intensity) {
+		min = len(j.intensity) - 1
+	}
+	return j.intensity[min]
+}
+
+// ScaledLoadAt returns the job's network footprint for a window of the
+// given duration starting at t. The scale folds together the per-second
+// unit volume, the window length, and the job's current intensity.
+func (j *Job) ScaledLoadAt(t, duration float64) netsim.ScaledLoad {
+	return netsim.ScaledLoad{Set: j.Load, Scale: j.IntensityAt(t) * duration}
+}
+
+// Record is one sacct log row.
+type Record struct {
+	JobID    int
+	UserName string
+	JobName  string
+	NumNodes int
+	Start    float64
+	End      float64
+}
+
+// Timeline is the generated background schedule of the machine.
+type Timeline struct {
+	Topo *topology.Dragonfly
+	Jobs []*Job // sorted by Start
+
+	days float64
+}
+
+// Days returns the campaign length the timeline was generated for.
+func (tl *Timeline) Days() float64 { return tl.days }
+
+// Horizon returns the timeline length in seconds.
+func (tl *Timeline) Horizon() float64 { return tl.days * 86400 }
+
+// Overlapping returns the jobs active during any part of [t0, t1),
+// in start order.
+func (tl *Timeline) Overlapping(t0, t1 float64) []*Job {
+	var out []*Job
+	for _, j := range tl.Jobs {
+		if j.Start >= t1 {
+			break
+		}
+		if j.Overlaps(t0, t1) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Records returns the sacct-style log of all background jobs.
+func (tl *Timeline) Records() []Record {
+	out := make([]Record, len(tl.Jobs))
+	for i, j := range tl.Jobs {
+		out[i] = Record{
+			JobID:    j.ID,
+			UserName: j.User.Name(),
+			JobName:  j.User.AppName,
+			NumNodes: len(j.Nodes),
+			Start:    j.Start,
+			End:      j.End,
+		}
+	}
+	return out
+}
+
+// NeighborUsers returns the distinct user names with at least one job of
+// minNodes or more nodes running during the entire window... more
+// precisely, per §V-A, with a job running at any point during [t0, t1).
+func (tl *Timeline) NeighborUsers(t0, t1 float64, minNodes int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, j := range tl.Overlapping(t0, t1) {
+		if len(j.Nodes) < minNodes {
+			continue
+		}
+		name := j.User.Name()
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BusyNodesAt returns the set of nodes owned by background jobs running in
+// the window [t0, t1).
+func (tl *Timeline) BusyNodesAt(t0, t1 float64) map[topology.NodeID]bool {
+	busy := make(map[topology.NodeID]bool)
+	for _, j := range tl.Overlapping(t0, t1) {
+		for _, n := range j.Nodes {
+			busy[n] = true
+		}
+	}
+	return busy
+}
+
+// PlacementFeatures derives the paper's placement features from an
+// allocation: NUM_ROUTERS is the number of distinct routers the nodes
+// attach to, NUM_GROUPS the number of distinct dragonfly groups.
+func PlacementFeatures(topo *topology.Dragonfly, nodes []topology.NodeID) (numRouters, numGroups int) {
+	routers := map[topology.RouterID]bool{}
+	groups := map[topology.GroupID]bool{}
+	for _, n := range nodes {
+		r := topo.RouterOfNode(n)
+		routers[r] = true
+		groups[topo.Group(r)] = true
+	}
+	return len(routers), len(groups)
+}
+
+// GenerateConfig controls timeline generation.
+type GenerateConfig struct {
+	Days  float64
+	Users []*User // defaults to Roster()
+	// MaxJobFraction caps a single job at this fraction of the compute
+	// pool, so rosters tuned for Cori still generate on small test
+	// machines. Default 0.25.
+	MaxJobFraction float64
+}
+
+// Generate builds a background timeline: Poisson arrivals per user,
+// lognormal durations, first-fit allocation with queue-wait retries, and a
+// precomputed unit network footprint per job.
+func Generate(net *netsim.Network, cfg GenerateConfig, s *rng.Stream) *Timeline {
+	topo := net.Topology()
+	users := cfg.Users
+	if users == nil {
+		users = Roster()
+	}
+	if cfg.MaxJobFraction <= 0 {
+		cfg.MaxJobFraction = 0.25
+	}
+	horizon := cfg.Days * 86400
+
+	type arrival struct {
+		t    float64
+		user *User
+		try  int
+	}
+	var arrivals []arrival
+	arrStream := s.Split("arrivals")
+	for _, u := range users {
+		n := poisson(arrStream, u.Workload.JobsPerDay*cfg.Days)
+		for i := 0; i < n; i++ {
+			arrivals = append(arrivals, arrival{t: arrStream.Uniform(0, horizon), user: u})
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].t < arrivals[j].t })
+
+	alloc := NewAllocator(topo)
+	maxNodes := int(float64(alloc.FreeCount()) * cfg.MaxJobFraction)
+	placeStream := s.Split("placement")
+	jobStream := s.Split("jobshape")
+
+	// running jobs as a simple min-heap on End
+	var running jobHeap
+	tl := &Timeline{Topo: topo, days: cfg.Days}
+	nextID := 1000
+
+	for len(arrivals) > 0 {
+		a := arrivals[0]
+		arrivals = arrivals[1:]
+		if a.t >= horizon {
+			continue // queue-wait retries pushed the job past the campaign
+		}
+		// release finished jobs
+		for len(running) > 0 && running[0].End <= a.t {
+			alloc.Free(running[0].Nodes)
+			running.pop()
+		}
+		w := a.user.Workload
+		// log-uniform size in [NodesMin, NodesMax], clamped to the machine
+		size := int(math.Round(math.Exp(jobStream.Uniform(math.Log(float64(w.NodesMin)), math.Log(float64(w.NodesMax)+1)))))
+		if size < 1 {
+			size = 1
+		}
+		if size > maxNodes {
+			size = maxNodes
+		}
+		nodes := alloc.Alloc(size, placeStream.Float64(), placeStream)
+		if nodes == nil {
+			// queue wait: retry later a few times, then give up
+			if a.try < 4 {
+				a.try++
+				a.t += placeStream.Uniform(1800, 7200)
+				// reinsert in order
+				idx := sort.Search(len(arrivals), func(i int) bool { return arrivals[i].t >= a.t })
+				arrivals = append(arrivals, arrival{})
+				copy(arrivals[idx+1:], arrivals[idx:])
+				arrivals[idx] = a
+			}
+			continue
+		}
+		dur := jobStream.LogNormal(math.Log(w.MeanDurationSec), 0.5)
+		if dur < 300 {
+			dur = 300
+		}
+		end := a.t + dur
+		if end > horizon {
+			end = horizon
+		}
+		j := &Job{
+			ID:    nextID,
+			User:  a.user,
+			Nodes: nodes,
+			Start: a.t,
+			End:   end,
+		}
+		nextID++
+		j.buildFootprint(net)
+		j.buildIntensity(jobStream)
+		tl.Jobs = append(tl.Jobs, j)
+		running.push(j)
+	}
+	sort.Slice(tl.Jobs, func(i, j int) bool { return tl.Jobs[i].Start < tl.Jobs[j].Start })
+	return tl
+}
+
+// buildFootprint computes the job's unit-intensity LoadSet: an irregular
+// node-level exchange plus filesystem traffic, scaled so that a round of
+// duration D at intensity 1 injects BytesPerNodePerSec*D per node.
+func (j *Job) buildFootprint(net *netsim.Network) {
+	topo := net.Topology()
+	w := j.User.Workload
+	mapper := &mpi.RankMapper{Topo: topo, Nodes: j.Nodes, RanksPerNode: 1}
+	b := mpi.NewPatternBuilder()
+	fanout := w.Fanout
+	if fanout < 1 {
+		fanout = 1
+	}
+	b.AddIrregular(mapper, fanout, 1)
+	if w.IOBytesPerNodePerSec > 0 && w.BytesPerNodePerSec > 0 {
+		// the irregular pattern carries ~nodes*fanout units of weight, so
+		// scale the I/O share to preserve the byte ratio
+		ioShare := w.IOBytesPerNodePerSec / w.BytesPerNodePerSec
+		b.AddIOTraffic(mapper, ioShare*float64(len(j.Nodes)*fanout))
+	}
+	// cap the footprint of very large jobs: 256 router pairs are plenty to
+	// place their congestion realistically, and it bounds campaign memory
+	pattern := b.Build().Downsample(256)
+	bytesPerSec := w.BytesPerNodePerSec * float64(len(j.Nodes))
+	flits := mpi.FlitsFor(bytesPerSec)
+	msgs := bytesPerSec / math.Max(w.MsgBytes, 1)
+	flows := pattern.Instantiate(flits, msgs, w.ReqFraction, nil)
+	j.Load = net.BuildLoadSet(flows)
+	j.booked = flits
+}
+
+// buildIntensity precomputes the per-minute AR(1) intensity series.
+func (j *Job) buildIntensity(s *rng.Stream) {
+	w := j.User.Workload
+	minutes := int(math.Ceil(j.Duration()/60)) + 1
+	ar := rng.AR1{Mean: 1, Std: w.IntensityStd, Rho: w.IntensityRho}
+	j.intensity = make([]float64, minutes)
+	for i := range j.intensity {
+		j.intensity[i] = ar.Next(s)
+	}
+}
+
+// poisson draws a Poisson variate (Knuth's method for small means, normal
+// approximation above 30).
+func poisson(s *rng.Stream, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := int(math.Round(s.Normal(mean, math.Sqrt(mean))))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// jobHeap is a min-heap on Job.End.
+type jobHeap []*Job
+
+func (h *jobHeap) push(j *Job) {
+	*h = append(*h, j)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].End <= (*h)[i].End {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *jobHeap) pop() *Job {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].End < (*h)[smallest].End {
+			smallest = l
+		}
+		if r < n && (*h)[r].End < (*h)[smallest].End {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

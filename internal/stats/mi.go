@@ -1,0 +1,126 @@
+package stats
+
+import "math"
+
+// MutualInformationBinary computes the mutual information, in nats, between
+// two binary variables given as bool slices of equal length, using the
+// plug-in estimator over the 2×2 contingency table:
+//
+//	I(X;Y) = Σ_x Σ_y P(x,y) log( P(x,y) / (P(x)P(y)) )
+//
+// This is the quantity the neighborhood analysis (§IV-A, Eq. 1) uses to rank
+// users by how much their presence tells us about run optimality. Zero means
+// statistical independence.
+func MutualInformationBinary(x, y []bool) float64 {
+	if len(x) != len(y) {
+		panic("stats: MutualInformationBinary length mismatch")
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	// joint counts: c[a][b] = #{i : x[i]==a, y[i]==b} with 0 = false, 1 = true
+	var c [2][2]float64
+	for i := range x {
+		a, b := 0, 0
+		if x[i] {
+			a = 1
+		}
+		if y[i] {
+			b = 1
+		}
+		c[a][b]++
+	}
+	nf := float64(n)
+	px := [2]float64{(c[0][0] + c[0][1]) / nf, (c[1][0] + c[1][1]) / nf}
+	py := [2]float64{(c[0][0] + c[1][0]) / nf, (c[0][1] + c[1][1]) / nf}
+	var mi float64
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			pxy := c[a][b] / nf
+			if pxy == 0 || px[a] == 0 || py[b] == 0 {
+				continue
+			}
+			mi += pxy * math.Log(pxy/(px[a]*py[b]))
+		}
+	}
+	if mi < 0 { // guard against tiny negative rounding noise
+		mi = 0
+	}
+	return mi
+}
+
+// MutualInformationDiscrete computes the mutual information, in nats,
+// between two integer-valued variables using the plug-in estimator. Labels
+// may be arbitrary ints.
+func MutualInformationDiscrete(x, y []int) float64 {
+	if len(x) != len(y) {
+		panic("stats: MutualInformationDiscrete length mismatch")
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	joint := make(map[[2]int]float64)
+	px := make(map[int]float64)
+	py := make(map[int]float64)
+	for i := range x {
+		joint[[2]int{x[i], y[i]}]++
+		px[x[i]]++
+		py[y[i]]++
+	}
+	nf := float64(n)
+	var mi float64
+	for k, c := range joint {
+		pxy := c / nf
+		mi += pxy * math.Log(pxy*nf*nf/(px[k[0]]*py[k[1]]))
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// Discretize maps each value of x to a bin index in [0, bins) using
+// equal-width binning over the observed range. Constant input maps to bin 0.
+func Discretize(x []float64, bins int) []int {
+	out := make([]int, len(x))
+	if len(x) == 0 || bins <= 1 {
+		return out
+	}
+	lo, hi := Min(x), Max(x)
+	if hi == lo {
+		return out
+	}
+	w := (hi - lo) / float64(bins)
+	for i, v := range x {
+		b := int((v - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// EntropyBinary returns the entropy, in nats, of a binary variable.
+func EntropyBinary(x []bool) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	var ones float64
+	for _, v := range x {
+		if v {
+			ones++
+		}
+	}
+	p := ones / float64(n)
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}

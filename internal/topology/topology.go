@@ -1,0 +1,498 @@
+// Package topology models the Cray XC implementation of the dragonfly
+// network (Figure 2 of the paper). Routers are arranged in groups; each
+// group is a Rows×Cols grid (6×16 on XC systems, 96 Aries routers). The
+// sixteen routers of a row are connected all-to-all by green (row) links,
+// the six routers of a column all-to-all by black (column) links, and each
+// router contributes a number of blue (global) links that connect the
+// groups to each other. Every router hosts NodesPerRouter compute nodes
+// (four per Aries blade on XC40).
+//
+// The package is purely structural: it enumerates routers, nodes, and links
+// and answers adjacency queries. Path selection lives in package routing,
+// traffic and congestion in package netsim.
+package topology
+
+import (
+	"fmt"
+)
+
+// LinkType distinguishes the three classes of dragonfly links.
+type LinkType uint8
+
+const (
+	// Green links connect the routers within one row of a group all-to-all.
+	Green LinkType = iota
+	// Black links connect the routers within one column of a group
+	// all-to-all.
+	Black
+	// Blue links are the global links connecting different groups.
+	Blue
+)
+
+// String returns the Cray color name of the link type.
+func (t LinkType) String() string {
+	switch t {
+	case Green:
+		return "green"
+	case Black:
+		return "black"
+	case Blue:
+		return "blue"
+	default:
+		return fmt.Sprintf("LinkType(%d)", uint8(t))
+	}
+}
+
+// RouterID identifies a router. Routers are numbered contiguously:
+// group*RoutersPerGroup + row*Cols + col.
+type RouterID int32
+
+// NodeID identifies a compute node: router*NodesPerRouter + slot.
+type NodeID int32
+
+// GroupID identifies a dragonfly group.
+type GroupID int32
+
+// LinkID indexes into Dragonfly.Links.
+type LinkID int32
+
+// Link is an undirected network link between two routers.
+type Link struct {
+	ID   LinkID
+	Type LinkType
+	A, B RouterID
+}
+
+// Other returns the endpoint of l that is not r.
+func (l Link) Other(r RouterID) RouterID {
+	if l.A == r {
+		return l.B
+	}
+	return l.A
+}
+
+// NodeClass describes the processor / role of the nodes attached to a
+// router. The paper's Cori has seven Haswell groups and 27 KNL groups; all
+// controlled experiments ran on KNL nodes, and LDMS counters are organized
+// by compute versus I/O role (§III-C).
+type NodeClass uint8
+
+const (
+	// KNL marks Knights Landing compute nodes (68 cores; the paper uses 64).
+	KNL NodeClass = iota
+	// Haswell marks Haswell compute nodes.
+	Haswell
+	// IONode marks service nodes that connect to the filesystem.
+	IONode
+)
+
+// String returns a short label for the node class.
+func (c NodeClass) String() string {
+	switch c {
+	case KNL:
+		return "knl"
+	case Haswell:
+		return "haswell"
+	case IONode:
+		return "io"
+	default:
+		return fmt.Sprintf("NodeClass(%d)", uint8(c))
+	}
+}
+
+// Config parameterizes a dragonfly machine.
+type Config struct {
+	Groups               int // number of dragonfly groups
+	Rows                 int // rows per group (6 on XC)
+	Cols                 int // columns per group (16 on XC)
+	NodesPerRouter       int // nodes per Aries router (4 on XC)
+	GlobalLinksPerRouter int // blue link endpoints per router
+	HaswellGroups        int // first HaswellGroups groups carry Haswell nodes
+	IORoutersPerGroup    int // routers per group whose nodes are I/O service nodes
+}
+
+// Cori returns the configuration of the machine the paper measured: a Cray
+// XC40 with 34 groups (7 Haswell + 27 KNL), 96 Aries per group in a 6×16
+// grid, four nodes per router.
+func Cori() Config {
+	return Config{
+		Groups:               34,
+		Rows:                 6,
+		Cols:                 16,
+		NodesPerRouter:       4,
+		GlobalLinksPerRouter: 4,
+		HaswellGroups:        7,
+		IORoutersPerGroup:    2,
+	}
+}
+
+// Small returns a reduced configuration suitable for unit tests and
+// benchmarks: the same structure at roughly 1/16 the scale.
+func Small() Config {
+	return Config{
+		Groups:               9,
+		Rows:                 4,
+		Cols:                 6,
+		NodesPerRouter:       4,
+		GlobalLinksPerRouter: 4,
+		HaswellGroups:        2,
+		IORoutersPerGroup:    1,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Groups < 2:
+		return fmt.Errorf("topology: need at least 2 groups, got %d", c.Groups)
+	case c.Rows < 1 || c.Cols < 1:
+		return fmt.Errorf("topology: invalid grid %dx%d", c.Rows, c.Cols)
+	case c.NodesPerRouter < 1:
+		return fmt.Errorf("topology: need at least 1 node per router, got %d", c.NodesPerRouter)
+	case c.GlobalLinksPerRouter < 1:
+		return fmt.Errorf("topology: need at least 1 global link per router, got %d", c.GlobalLinksPerRouter)
+	case c.HaswellGroups < 0 || c.HaswellGroups > c.Groups:
+		return fmt.Errorf("topology: HaswellGroups %d out of range [0,%d]", c.HaswellGroups, c.Groups)
+	case c.IORoutersPerGroup < 0 || c.IORoutersPerGroup > c.Rows*c.Cols:
+		return fmt.Errorf("topology: IORoutersPerGroup %d out of range", c.IORoutersPerGroup)
+	}
+	// Every group must be reachable from every other: total blue endpoints
+	// per group must be at least Groups-1.
+	if c.Rows*c.Cols*c.GlobalLinksPerRouter < c.Groups-1 {
+		return fmt.Errorf("topology: %d global endpoints per group cannot connect %d groups",
+			c.Rows*c.Cols*c.GlobalLinksPerRouter, c.Groups)
+	}
+	return nil
+}
+
+// RoutersPerGroup returns the number of routers in one group.
+func (c Config) RoutersPerGroup() int { return c.Rows * c.Cols }
+
+// NumRouters returns the total router count.
+func (c Config) NumRouters() int { return c.Groups * c.RoutersPerGroup() }
+
+// NumNodes returns the total node count.
+func (c Config) NumNodes() int { return c.NumRouters() * c.NodesPerRouter }
+
+// Dragonfly is a fully wired dragonfly machine.
+type Dragonfly struct {
+	Cfg Config
+
+	// Links holds every link; LinkID indexes into it.
+	Links []Link
+
+	// incident[r] lists the IDs of the links incident to router r.
+	incident [][]LinkID
+
+	// rowLink[r][c] is the green link between router r and the router in
+	// the same row at column c (meaningless for r's own column). Similarly
+	// colLink[r][row] for black links. Both are indexed by local
+	// coordinates and support O(1) intra-group path construction.
+	rowLink [][]LinkID
+	colLink [][]LinkID
+
+	// globalBetween[g1*Groups+g2] lists the blue links whose endpoints are
+	// in groups g1 and g2 (g1 < g2 canonical order; the symmetric entry is
+	// filled too).
+	globalBetween [][]LinkID
+
+	// routerClass[r] is the NodeClass of the nodes attached to router r.
+	routerClass []NodeClass
+
+	// ioRouters lists all routers whose nodes are I/O service nodes.
+	ioRouters []RouterID
+}
+
+// New wires a dragonfly from the configuration. Wiring is deterministic.
+func New(cfg Config) (*Dragonfly, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dragonfly{Cfg: cfg}
+	nr := cfg.NumRouters()
+	d.incident = make([][]LinkID, nr)
+	d.rowLink = make([][]LinkID, nr)
+	d.colLink = make([][]LinkID, nr)
+	for r := 0; r < nr; r++ {
+		d.rowLink[r] = make([]LinkID, cfg.Cols)
+		d.colLink[r] = make([]LinkID, cfg.Rows)
+		for i := range d.rowLink[r] {
+			d.rowLink[r][i] = -1
+		}
+		for i := range d.colLink[r] {
+			d.colLink[r][i] = -1
+		}
+	}
+	d.wireIntraGroup()
+	if err := d.wireGlobal(); err != nil {
+		return nil, err
+	}
+	d.classifyRouters()
+	return d, nil
+}
+
+// addLink appends a link and updates adjacency.
+func (d *Dragonfly) addLink(t LinkType, a, b RouterID) LinkID {
+	id := LinkID(len(d.Links))
+	d.Links = append(d.Links, Link{ID: id, Type: t, A: a, B: b})
+	d.incident[a] = append(d.incident[a], id)
+	d.incident[b] = append(d.incident[b], id)
+	return id
+}
+
+// wireIntraGroup creates the green (row) and black (column) all-to-all
+// links inside every group.
+func (d *Dragonfly) wireIntraGroup() {
+	cfg := d.Cfg
+	for g := 0; g < cfg.Groups; g++ {
+		// green: all-to-all within each row
+		for row := 0; row < cfg.Rows; row++ {
+			for c1 := 0; c1 < cfg.Cols; c1++ {
+				for c2 := c1 + 1; c2 < cfg.Cols; c2++ {
+					a := d.RouterAt(GroupID(g), row, c1)
+					b := d.RouterAt(GroupID(g), row, c2)
+					id := d.addLink(Green, a, b)
+					d.rowLink[a][c2] = id
+					d.rowLink[b][c1] = id
+				}
+			}
+		}
+		// black: all-to-all within each column
+		for col := 0; col < cfg.Cols; col++ {
+			for r1 := 0; r1 < cfg.Rows; r1++ {
+				for r2 := r1 + 1; r2 < cfg.Rows; r2++ {
+					a := d.RouterAt(GroupID(g), r1, col)
+					b := d.RouterAt(GroupID(g), r2, col)
+					id := d.addLink(Black, a, b)
+					d.colLink[a][r2] = id
+					d.colLink[b][r1] = id
+				}
+			}
+		}
+	}
+}
+
+// wireGlobal distributes the blue links evenly over group pairs. Each
+// group has RoutersPerGroup*GlobalLinksPerRouter blue endpoints; every
+// unordered group pair receives an equal share (remainders are assigned to
+// the lexicographically earliest pairs), and within a group the endpoints
+// are assigned to routers round-robin so global connectivity is spread over
+// the whole group, as on real XC systems.
+func (d *Dragonfly) wireGlobal() error {
+	cfg := d.Cfg
+	g := cfg.Groups
+	endpointsPerGroup := cfg.RoutersPerGroup() * cfg.GlobalLinksPerRouter
+
+	d.globalBetween = make([][]LinkID, g*g)
+	// next global port to use, per group (round-robin over routers)
+	nextPort := make([]int, g)
+	portBudget := make([]int, g)
+	for i := range portBudget {
+		portBudget[i] = endpointsPerGroup
+	}
+
+	// Sweep over all group pairs repeatedly, adding one link per pair per
+	// sweep while both groups still have free ports. This keeps the pair
+	// link counts within one of each other and guarantees that every pair
+	// gets a link in the first sweep (Validate ensures the budget suffices).
+	// Pairs are capped at floor(E/(G-1))+1 links so the final partial sweep
+	// cannot concentrate leftovers on a few pairs; surplus ports simply go
+	// unused, as on real installations.
+	pairCap := endpointsPerGroup/(g-1) + 1
+	for {
+		added := false
+		for g1 := 0; g1 < g; g1++ {
+			for g2 := g1 + 1; g2 < g; g2++ {
+				if portBudget[g1] == 0 || portBudget[g2] == 0 {
+					continue
+				}
+				if len(d.globalBetween[g1*g+g2]) >= pairCap {
+					continue
+				}
+				a := d.routerForPort(GroupID(g1), nextPort[g1])
+				b := d.routerForPort(GroupID(g2), nextPort[g2])
+				nextPort[g1]++
+				nextPort[g2]++
+				portBudget[g1]--
+				portBudget[g2]--
+				id := d.addLink(Blue, a, b)
+				d.globalBetween[g1*g+g2] = append(d.globalBetween[g1*g+g2], id)
+				d.globalBetween[g2*g+g1] = append(d.globalBetween[g2*g+g1], id)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	// verify full group connectivity
+	for g1 := 0; g1 < g; g1++ {
+		for g2 := g1 + 1; g2 < g; g2++ {
+			if len(d.globalBetween[g1*g+g2]) == 0 {
+				return fmt.Errorf("topology: groups %d and %d ended up with no global link", g1, g2)
+			}
+		}
+	}
+	return nil
+}
+
+// routerForPort maps a group-local global-port index to a router,
+// round-robin: port p belongs to router p mod RoutersPerGroup.
+func (d *Dragonfly) routerForPort(g GroupID, port int) RouterID {
+	local := port % d.Cfg.RoutersPerGroup()
+	return RouterID(int(g)*d.Cfg.RoutersPerGroup() + local)
+}
+
+// classifyRouters assigns node classes: the first IORoutersPerGroup routers
+// of each group host I/O service nodes; the remaining routers of the first
+// HaswellGroups groups host Haswell nodes; everything else is KNL.
+func (d *Dragonfly) classifyRouters() {
+	cfg := d.Cfg
+	d.routerClass = make([]NodeClass, cfg.NumRouters())
+	for g := 0; g < cfg.Groups; g++ {
+		for local := 0; local < cfg.RoutersPerGroup(); local++ {
+			r := RouterID(g*cfg.RoutersPerGroup() + local)
+			switch {
+			case local < cfg.IORoutersPerGroup:
+				d.routerClass[r] = IONode
+				d.ioRouters = append(d.ioRouters, r)
+			case g < cfg.HaswellGroups:
+				d.routerClass[r] = Haswell
+			default:
+				d.routerClass[r] = KNL
+			}
+		}
+	}
+}
+
+// RouterAt returns the router at the given group and grid coordinates.
+func (d *Dragonfly) RouterAt(g GroupID, row, col int) RouterID {
+	return RouterID(int(g)*d.Cfg.RoutersPerGroup() + row*d.Cfg.Cols + col)
+}
+
+// Group returns the group of router r.
+func (d *Dragonfly) Group(r RouterID) GroupID {
+	return GroupID(int(r) / d.Cfg.RoutersPerGroup())
+}
+
+// Row returns the row coordinate of router r within its group.
+func (d *Dragonfly) Row(r RouterID) int {
+	return (int(r) % d.Cfg.RoutersPerGroup()) / d.Cfg.Cols
+}
+
+// Col returns the column coordinate of router r within its group.
+func (d *Dragonfly) Col(r RouterID) int {
+	return (int(r) % d.Cfg.RoutersPerGroup()) % d.Cfg.Cols
+}
+
+// Class returns the node class of the nodes attached to router r.
+func (d *Dragonfly) Class(r RouterID) NodeClass { return d.routerClass[r] }
+
+// IORouters returns the routers hosting I/O service nodes. The returned
+// slice must not be modified.
+func (d *Dragonfly) IORouters() []RouterID { return d.ioRouters }
+
+// Incident returns the IDs of the links incident to router r. The returned
+// slice must not be modified.
+func (d *Dragonfly) Incident(r RouterID) []LinkID { return d.incident[r] }
+
+// RowLink returns the green link between r and the router of the same row
+// at column col, or -1 if col is r's own column.
+func (d *Dragonfly) RowLink(r RouterID, col int) LinkID { return d.rowLink[r][col] }
+
+// ColLink returns the black link between r and the router of the same
+// column at row row, or -1 if row is r's own row.
+func (d *Dragonfly) ColLink(r RouterID, row int) LinkID { return d.colLink[r][row] }
+
+// GlobalBetween returns the blue links connecting groups g1 and g2 (empty
+// when g1 == g2). The returned slice must not be modified.
+func (d *Dragonfly) GlobalBetween(g1, g2 GroupID) []LinkID {
+	if g1 == g2 {
+		return nil
+	}
+	return d.globalBetween[int(g1)*d.Cfg.Groups+int(g2)]
+}
+
+// RouterOfNode returns the router a node is attached to.
+func (d *Dragonfly) RouterOfNode(n NodeID) RouterID {
+	return RouterID(int(n) / d.Cfg.NodesPerRouter)
+}
+
+// NodesOfRouter returns the node IDs attached to router r.
+func (d *Dragonfly) NodesOfRouter(r RouterID) []NodeID {
+	out := make([]NodeID, d.Cfg.NodesPerRouter)
+	for i := range out {
+		out[i] = NodeID(int(r)*d.Cfg.NodesPerRouter + i)
+	}
+	return out
+}
+
+// NodeClassOf returns the class of a node.
+func (d *Dragonfly) NodeClassOf(n NodeID) NodeClass {
+	return d.routerClass[d.RouterOfNode(n)]
+}
+
+// ComputeNodes returns all node IDs of the given class, in increasing
+// order. Useful for building allocation pools.
+func (d *Dragonfly) ComputeNodes(class NodeClass) []NodeID {
+	var out []NodeID
+	for r := 0; r < d.Cfg.NumRouters(); r++ {
+		if d.routerClass[r] != class {
+			continue
+		}
+		out = append(out, d.NodesOfRouter(RouterID(r))...)
+	}
+	return out
+}
+
+// Census summarizes the wired machine; used by the Figure 2 report.
+type Census struct {
+	Groups, RoutersPerGroup, Routers, Nodes  int
+	GreenLinks, BlackLinks, BlueLinks        int
+	KNLNodes, HaswellNodes, IONodes          int
+	MinBluePerGroupPair, MaxBluePerGroupPair int
+}
+
+// TakeCensus counts the machine's components.
+func (d *Dragonfly) TakeCensus() Census {
+	c := Census{
+		Groups:          d.Cfg.Groups,
+		RoutersPerGroup: d.Cfg.RoutersPerGroup(),
+		Routers:         d.Cfg.NumRouters(),
+		Nodes:           d.Cfg.NumNodes(),
+	}
+	for _, l := range d.Links {
+		switch l.Type {
+		case Green:
+			c.GreenLinks++
+		case Black:
+			c.BlackLinks++
+		case Blue:
+			c.BlueLinks++
+		}
+	}
+	for r := 0; r < d.Cfg.NumRouters(); r++ {
+		n := d.Cfg.NodesPerRouter
+		switch d.routerClass[r] {
+		case KNL:
+			c.KNLNodes += n
+		case Haswell:
+			c.HaswellNodes += n
+		case IONode:
+			c.IONodes += n
+		}
+	}
+	c.MinBluePerGroupPair = int(^uint(0) >> 1)
+	for g1 := 0; g1 < d.Cfg.Groups; g1++ {
+		for g2 := g1 + 1; g2 < d.Cfg.Groups; g2++ {
+			n := len(d.GlobalBetween(GroupID(g1), GroupID(g2)))
+			if n < c.MinBluePerGroupPair {
+				c.MinBluePerGroupPair = n
+			}
+			if n > c.MaxBluePerGroupPair {
+				c.MaxBluePerGroupPair = n
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,301 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Dragonfly {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"valid small", func(c *Config) {}, true},
+		{"one group", func(c *Config) { c.Groups = 1 }, false},
+		{"zero rows", func(c *Config) { c.Rows = 0 }, false},
+		{"zero nodes", func(c *Config) { c.NodesPerRouter = 0 }, false},
+		{"zero global", func(c *Config) { c.GlobalLinksPerRouter = 0 }, false},
+		{"haswell too big", func(c *Config) { c.HaswellGroups = 100 }, false},
+		{"io too big", func(c *Config) { c.IORoutersPerGroup = 1000 }, false},
+		{"too many groups for endpoints", func(c *Config) { c.Groups = 200; c.Rows = 2; c.Cols = 2; c.GlobalLinksPerRouter = 1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Small()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestCoriStructure(t *testing.T) {
+	d := mustNew(t, Cori())
+	c := d.TakeCensus()
+	if c.Routers != 34*96 {
+		t.Fatalf("routers = %d, want %d", c.Routers, 34*96)
+	}
+	if c.Nodes != 34*96*4 {
+		t.Fatalf("nodes = %d", c.Nodes)
+	}
+	// green: per group, Rows * C(Cols,2) = 6 * 120 = 720
+	if want := 34 * 6 * (16 * 15 / 2); c.GreenLinks != want {
+		t.Fatalf("green links = %d, want %d", c.GreenLinks, want)
+	}
+	// black: per group, Cols * C(Rows,2) = 16 * 15 = 240
+	if want := 34 * 16 * (6 * 5 / 2); c.BlackLinks != want {
+		t.Fatalf("black links = %d, want %d", c.BlackLinks, want)
+	}
+	if c.MinBluePerGroupPair < 1 {
+		t.Fatal("some group pair has no global link")
+	}
+	// load should be spread: max/min ratio should be small
+	if c.MaxBluePerGroupPair > c.MinBluePerGroupPair+1 {
+		t.Fatalf("blue links unevenly distributed: min %d max %d", c.MinBluePerGroupPair, c.MaxBluePerGroupPair)
+	}
+}
+
+func TestRouterCoordinatesRoundTrip(t *testing.T) {
+	d := mustNew(t, Small())
+	cfg := d.Cfg
+	for g := 0; g < cfg.Groups; g++ {
+		for row := 0; row < cfg.Rows; row++ {
+			for col := 0; col < cfg.Cols; col++ {
+				r := d.RouterAt(GroupID(g), row, col)
+				if d.Group(r) != GroupID(g) || d.Row(r) != row || d.Col(r) != col {
+					t.Fatalf("coordinate roundtrip failed for (%d,%d,%d) -> %d -> (%d,%d,%d)",
+						g, row, col, r, d.Group(r), d.Row(r), d.Col(r))
+				}
+			}
+		}
+	}
+}
+
+func TestRowLinksAllToAll(t *testing.T) {
+	d := mustNew(t, Small())
+	cfg := d.Cfg
+	r := d.RouterAt(1, 2, 3)
+	for col := 0; col < cfg.Cols; col++ {
+		id := d.RowLink(r, col)
+		if col == d.Col(r) {
+			if id != -1 {
+				t.Fatal("self row link should be -1")
+			}
+			continue
+		}
+		if id < 0 {
+			t.Fatalf("missing row link to col %d", col)
+		}
+		l := d.Links[id]
+		if l.Type != Green {
+			t.Fatalf("row link has type %v", l.Type)
+		}
+		other := l.Other(r)
+		if d.Group(other) != d.Group(r) || d.Row(other) != d.Row(r) || d.Col(other) != col {
+			t.Fatalf("row link to col %d connects wrong router", col)
+		}
+	}
+}
+
+func TestColLinksAllToAll(t *testing.T) {
+	d := mustNew(t, Small())
+	cfg := d.Cfg
+	r := d.RouterAt(2, 1, 4)
+	for row := 0; row < cfg.Rows; row++ {
+		id := d.ColLink(r, row)
+		if row == d.Row(r) {
+			if id != -1 {
+				t.Fatal("self col link should be -1")
+			}
+			continue
+		}
+		if id < 0 {
+			t.Fatalf("missing col link to row %d", row)
+		}
+		l := d.Links[id]
+		if l.Type != Black {
+			t.Fatalf("col link has type %v", l.Type)
+		}
+		other := l.Other(r)
+		if d.Group(other) != d.Group(r) || d.Col(other) != d.Col(r) || d.Row(other) != row {
+			t.Fatalf("col link to row %d connects wrong router", row)
+		}
+	}
+}
+
+func TestGlobalLinksConnectCorrectGroups(t *testing.T) {
+	d := mustNew(t, Small())
+	g := d.Cfg.Groups
+	for g1 := 0; g1 < g; g1++ {
+		for g2 := 0; g2 < g; g2++ {
+			links := d.GlobalBetween(GroupID(g1), GroupID(g2))
+			if g1 == g2 {
+				if links != nil {
+					t.Fatal("GlobalBetween same group should be nil")
+				}
+				continue
+			}
+			if len(links) == 0 {
+				t.Fatalf("no global links between %d and %d", g1, g2)
+			}
+			for _, id := range links {
+				l := d.Links[id]
+				ga, gb := d.Group(l.A), d.Group(l.B)
+				if !((ga == GroupID(g1) && gb == GroupID(g2)) || (ga == GroupID(g2) && gb == GroupID(g1))) {
+					t.Fatalf("link %d listed for (%d,%d) connects groups (%d,%d)", id, g1, g2, ga, gb)
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalBetweenSymmetric(t *testing.T) {
+	d := mustNew(t, Small())
+	a := d.GlobalBetween(0, 3)
+	b := d.GlobalBetween(3, 0)
+	if len(a) != len(b) {
+		t.Fatalf("asymmetric global link lists: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GlobalBetween not symmetric")
+		}
+	}
+}
+
+func TestGlobalPortBudgetRespected(t *testing.T) {
+	d := mustNew(t, Small())
+	perRouter := make(map[RouterID]int)
+	for _, l := range d.Links {
+		if l.Type != Blue {
+			continue
+		}
+		perRouter[l.A]++
+		perRouter[l.B]++
+	}
+	for r, n := range perRouter {
+		if n > d.Cfg.GlobalLinksPerRouter+1 {
+			t.Fatalf("router %d has %d blue links, budget %d", r, n, d.Cfg.GlobalLinksPerRouter)
+		}
+	}
+}
+
+func TestIncidentConsistency(t *testing.T) {
+	d := mustNew(t, Small())
+	// every link appears in the incident lists of exactly its two endpoints
+	count := make(map[LinkID]int)
+	for r := 0; r < d.Cfg.NumRouters(); r++ {
+		for _, id := range d.Incident(RouterID(r)) {
+			l := d.Links[id]
+			if l.A != RouterID(r) && l.B != RouterID(r) {
+				t.Fatalf("link %d in incident list of non-endpoint %d", id, r)
+			}
+			count[id]++
+		}
+	}
+	for id, n := range count {
+		if n != 2 {
+			t.Fatalf("link %d appears in %d incident lists, want 2", id, n)
+		}
+	}
+	if len(count) != len(d.Links) {
+		t.Fatalf("%d links appear in incident lists, want %d", len(count), len(d.Links))
+	}
+}
+
+func TestNodeRouterMapping(t *testing.T) {
+	d := mustNew(t, Small())
+	f := func(raw uint16) bool {
+		n := NodeID(int(raw) % d.Cfg.NumNodes())
+		r := d.RouterOfNode(n)
+		nodes := d.NodesOfRouter(r)
+		for _, nn := range nodes {
+			if nn == n {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeClasses(t *testing.T) {
+	d := mustNew(t, Small())
+	cfg := d.Cfg
+	knl := d.ComputeNodes(KNL)
+	hsw := d.ComputeNodes(Haswell)
+	io := d.ComputeNodes(IONode)
+	if len(knl)+len(hsw)+len(io) != cfg.NumNodes() {
+		t.Fatal("node classes do not partition the nodes")
+	}
+	wantIO := cfg.Groups * cfg.IORoutersPerGroup * cfg.NodesPerRouter
+	if len(io) != wantIO {
+		t.Fatalf("io nodes = %d, want %d", len(io), wantIO)
+	}
+	wantHsw := cfg.HaswellGroups * (cfg.RoutersPerGroup() - cfg.IORoutersPerGroup) * cfg.NodesPerRouter
+	if len(hsw) != wantHsw {
+		t.Fatalf("haswell nodes = %d, want %d", len(hsw), wantHsw)
+	}
+	// IORouters match the IONode class
+	for _, r := range d.IORouters() {
+		if d.Class(r) != IONode {
+			t.Fatalf("router %d in IORouters but class %v", r, d.Class(r))
+		}
+	}
+	if len(d.IORouters()) != cfg.Groups*cfg.IORoutersPerGroup {
+		t.Fatalf("io routers = %d", len(d.IORouters()))
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	l := Link{A: 3, B: 7}
+	if l.Other(3) != 7 || l.Other(7) != 3 {
+		t.Fatal("Other broken")
+	}
+}
+
+func TestLinkTypeString(t *testing.T) {
+	if Green.String() != "green" || Black.String() != "black" || Blue.String() != "blue" {
+		t.Fatal("LinkType strings wrong")
+	}
+}
+
+func TestDegreeUniformIntraGroup(t *testing.T) {
+	d := mustNew(t, Small())
+	cfg := d.Cfg
+	// every router has exactly Cols-1 green and Rows-1 black links
+	for r := 0; r < cfg.NumRouters(); r++ {
+		var green, black int
+		for _, id := range d.Incident(RouterID(r)) {
+			switch d.Links[id].Type {
+			case Green:
+				green++
+			case Black:
+				black++
+			}
+		}
+		if green != cfg.Cols-1 {
+			t.Fatalf("router %d has %d green links, want %d", r, green, cfg.Cols-1)
+		}
+		if black != cfg.Rows-1 {
+			t.Fatalf("router %d has %d black links, want %d", r, black, cfg.Rows-1)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package traceio implements a compact binary log for system-wide counter
+// samples — the stand-in for the LDMS monitoring pipeline of §III-C, which
+// on Cori sampled every router once per second and produced on the order
+// of 5 TB per day. Samples are stored as varint-encoded deltas against the
+// previous sample, which compresses monotonically increasing hardware
+// counters by an order of magnitude compared to raw float64 dumps.
+//
+// The format:
+//
+//	magic "DFLDMS1\n"
+//	uvarint numSeries
+//	repeated samples:
+//	    uvarint dtMillis   (against the previous sample; first is absolute)
+//	    numSeries × varint delta of the quantized (rounded) value
+//
+// A Writer and Reader pair round-trips any series whose values fit int64
+// after rounding; hardware counters do.
+package traceio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+const magic = "DFLDMS1\n"
+
+// Writer streams samples to an underlying writer.
+type Writer struct {
+	w         *bufio.Writer
+	numSeries int
+	prev      []int64
+	prevMs    uint64
+	started   bool
+	buf       []byte
+}
+
+// NewWriter writes the header and returns a writer for numSeries parallel
+// counter series.
+func NewWriter(w io.Writer, numSeries int) (*Writer, error) {
+	if numSeries <= 0 {
+		return nil, fmt.Errorf("traceio: numSeries must be positive")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(numSeries))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:         bw,
+		numSeries: numSeries,
+		prev:      make([]int64, numSeries),
+		buf:       make([]byte, binary.MaxVarintLen64),
+	}, nil
+}
+
+// WriteSample appends one sample at time t (seconds). len(values) must be
+// numSeries. Timestamps must be non-decreasing.
+func (w *Writer) WriteSample(t float64, values []float64) error {
+	if len(values) != w.numSeries {
+		return fmt.Errorf("traceio: sample has %d series, want %d", len(values), w.numSeries)
+	}
+	ms := uint64(math.Round(t * 1000))
+	var dt uint64
+	if w.started {
+		if ms < w.prevMs {
+			return fmt.Errorf("traceio: timestamps must be non-decreasing (%d after %d)", ms, w.prevMs)
+		}
+		dt = ms - w.prevMs
+	} else {
+		dt = ms
+		w.started = true
+	}
+	w.prevMs = ms
+	n := binary.PutUvarint(w.buf, dt)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	for i, v := range values {
+		q := int64(math.Round(v))
+		delta := q - w.prev[i]
+		w.prev[i] = q
+		n := binary.PutVarint(w.buf, delta)
+		if _, err := w.w.Write(w.buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader iterates a log produced by Writer.
+type Reader struct {
+	r         *bufio.Reader
+	numSeries int
+	prev      []int64
+	prevMs    uint64
+	started   bool
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("traceio: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("traceio: bad magic — not a DFLDMS1 log")
+	}
+	ns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: reading series count: %w", err)
+	}
+	if ns == 0 || ns > 1<<28 {
+		return nil, fmt.Errorf("traceio: implausible series count %d", ns)
+	}
+	return &Reader{r: br, numSeries: int(ns), prev: make([]int64, ns)}, nil
+}
+
+// NumSeries returns the number of parallel series in the log.
+func (r *Reader) NumSeries() int { return r.numSeries }
+
+// Next returns the next sample, filling dst (allocated when nil) with the
+// reconstructed absolute values. Returns io.EOF cleanly at end of log.
+func (r *Reader) Next(dst []float64) (t float64, values []float64, err error) {
+	dt, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("traceio: reading timestamp: %w", err)
+	}
+	if r.started {
+		r.prevMs += dt
+	} else {
+		r.prevMs = dt
+		r.started = true
+	}
+	if dst == nil {
+		dst = make([]float64, r.numSeries)
+	}
+	if len(dst) != r.numSeries {
+		return 0, nil, fmt.Errorf("traceio: dst has %d series, want %d", len(dst), r.numSeries)
+	}
+	for i := 0; i < r.numSeries; i++ {
+		delta, err := binary.ReadVarint(r.r)
+		if err != nil {
+			// EOF mid-sample is corruption, not a clean end of log
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("traceio: truncated sample: %w", err)
+		}
+		r.prev[i] += delta
+		dst[i] = float64(r.prev[i])
+	}
+	return float64(r.prevMs) / 1000, dst, nil
+}
+
+// ReadAll drains the log, returning timestamps and samples.
+func ReadAll(r io.Reader) (times []float64, samples [][]float64, err error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		t, v, err := rd.Next(nil)
+		if errors.Is(err, io.EOF) {
+			return times, samples, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		times = append(times, t)
+		samples = append(samples, v)
+	}
+}

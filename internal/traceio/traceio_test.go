@@ -1,0 +1,188 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]float64{
+		{100, 200, 300},
+		{150, 200, 290}, // counters may also decrease (derived values)
+		{151, 250, 500},
+	}
+	times := []float64{0.5, 1.5, 61.5}
+	for i := range in {
+		if err := w.WriteSample(times[i], in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotT, gotV, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotT) != 3 {
+		t.Fatalf("samples = %d", len(gotT))
+	}
+	for i := range in {
+		if math.Abs(gotT[i]-times[i]) > 1e-9 {
+			t.Fatalf("time[%d] = %v, want %v", i, gotT[i], times[i])
+		}
+		for j := range in[i] {
+			if gotV[i][j] != in[i][j] {
+				t.Fatalf("value[%d][%d] = %v, want %v", i, j, gotV[i][j], in[i][j])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw [4][2]int32, startMs uint16) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 2)
+		if err != nil {
+			return false
+		}
+		tcur := float64(startMs) / 1000
+		var want [][]float64
+		for _, pair := range raw {
+			vals := []float64{float64(pair[0]), float64(pair[1])}
+			if err := w.WriteSample(tcur, vals); err != nil {
+				return false
+			}
+			want = append(want, vals)
+			tcur += 0.25
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		_, got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaEncodingIsCompact(t *testing.T) {
+	// monotone counters with small increments should compress far below
+	// 8 bytes per value
+	var buf bytes.Buffer
+	series := 100
+	w, err := NewWriter(&buf, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, series)
+	for s := 0; s < 1000; s++ {
+		for j := range vals {
+			vals[j] += float64(j % 7)
+		}
+		if err := w.WriteSample(float64(s), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	raw := 1000 * series * 8
+	if buf.Len() > raw/4 {
+		t.Fatalf("log is %d bytes; raw float64 would be %d — compression too weak", buf.Len(), raw)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(&bytes.Buffer{}, 0); err == nil {
+		t.Fatal("zero series should be rejected")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	if err := w.WriteSample(1, []float64{1}); err == nil {
+		t.Fatal("short sample should be rejected")
+	}
+	if err := w.WriteSample(5, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSample(4, []float64{1, 2}); err == nil {
+		t.Fatal("time going backwards should be rejected")
+	}
+}
+
+func TestReaderValidation(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTALOG!xxxx"))); err == nil {
+		t.Fatal("bad magic should be rejected")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should be rejected")
+	}
+	// header with zero series count
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], 0)
+	buf.Write(tmp[:n])
+	if _, err := NewReader(&buf); err == nil {
+		t.Fatal("zero series count should be rejected")
+	}
+}
+
+func TestTruncatedLog(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 4)
+	w.WriteSample(1, []float64{1, 2, 3, 4})
+	w.WriteSample(2, []float64{5, 6, 7, 8})
+	w.Flush()
+	// chop the tail mid-sample
+	data := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(nil); err != nil {
+		t.Fatal("first sample should read fine")
+	}
+	_, _, err = r.Next(nil)
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated sample should be a hard error, got %v", err)
+	}
+}
+
+func TestNextDstReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	w.WriteSample(1, []float64{10, 20})
+	w.WriteSample(2, []float64{30, 40})
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 2)
+	_, v1, err := r.Next(dst)
+	if err != nil || &v1[0] != &dst[0] {
+		t.Fatal("Next should fill the provided buffer")
+	}
+	if _, _, err := r.Next(make([]float64, 3)); err == nil {
+		t.Fatal("wrong-size dst should be rejected")
+	}
+}

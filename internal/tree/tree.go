@@ -1,0 +1,265 @@
+// Package tree implements histogram-based CART regression trees: the base
+// learners of the gradient boosted models (§IV-B). Features are quantized
+// into bins once per fit, so finding the best split of a node costs
+// O(samples + bins) per feature instead of a sort. Gain-based feature
+// importances are accumulated during fitting; they drive the recursive
+// feature elimination of the deviation analysis.
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rng"
+)
+
+// Options configures tree induction.
+type Options struct {
+	MaxDepth       int // maximum depth (root = depth 0); default 3
+	MinSamplesLeaf int // minimum samples per leaf; default 5
+	Bins           int // histogram bins per feature; default 32
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	if o.MinSamplesLeaf <= 0 {
+		o.MinSamplesLeaf = 5
+	}
+	if o.Bins <= 1 {
+		o.Bins = 32
+	}
+	return o
+}
+
+// Regressor is a fitted regression tree.
+type Regressor struct {
+	nodes      []node
+	importance []float64
+}
+
+type node struct {
+	feature     int     // split feature; -1 for leaves
+	threshold   float64 // go left when x[feature] <= threshold
+	left, right int32
+	value       float64 // prediction at leaves
+}
+
+// Binner quantizes feature columns into small integer bins using
+// quantile-spaced edges. One Binner can be shared by all trees of a
+// boosting ensemble, since the feature matrix does not change between
+// boosting rounds.
+type Binner struct {
+	edges [][]float64 // per feature, ascending bin upper edges (len bins-1)
+	bins  int
+}
+
+// NewBinner computes quantile bin edges from the rows of x listed in idx
+// (all rows when idx is nil).
+func NewBinner(x *linalg.Matrix, idx []int, bins int) *Binner {
+	if bins <= 1 {
+		bins = 32
+	}
+	n := x.Rows
+	rowAt := func(i int) []float64 { return x.Row(i) }
+	if idx != nil {
+		n = len(idx)
+		rowAt = func(i int) []float64 { return x.Row(idx[i]) }
+	}
+	b := &Binner{bins: bins, edges: make([][]float64, x.Cols)}
+	vals := make([]float64, n)
+	for f := 0; f < x.Cols; f++ {
+		for i := 0; i < n; i++ {
+			vals[i] = rowAt(i)[f]
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for e := 1; e < bins; e++ {
+			v := vals[e*n/bins]
+			if len(edges) == 0 || v > edges[len(edges)-1] {
+				edges = append(edges, v)
+			}
+		}
+		b.edges[f] = edges
+	}
+	return b
+}
+
+// Bin returns the bin index of value v for feature f.
+func (b *Binner) Bin(f int, v float64) int {
+	edges := b.edges[f]
+	// binary search for the first edge > v
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Threshold returns the split threshold corresponding to "bin <= k".
+func (b *Binner) Threshold(f, k int) float64 {
+	edges := b.edges[f]
+	if k < len(edges) {
+		return edges[k]
+	}
+	if len(edges) == 0 {
+		return math.Inf(1)
+	}
+	return edges[len(edges)-1]
+}
+
+// BinMatrix quantizes all of x once; rows correspond to x's rows.
+func (b *Binner) BinMatrix(x *linalg.Matrix) [][]uint8 {
+	out := make([][]uint8, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		bi := make([]uint8, x.Cols)
+		for f := range row {
+			bi[f] = uint8(b.Bin(f, row[f]))
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// FitBinned grows a tree on pre-binned data. idx selects the training
+// rows; y holds targets for ALL rows (indexed by idx). features lists the
+// usable feature columns (nil = all). The returned tree's importances have
+// x.Cols entries.
+func FitBinned(binned [][]uint8, binner *Binner, y []float64, idx []int, features []int, opt Options, s *rng.Stream) *Regressor {
+	opt = opt.withDefaults()
+	numFeatures := len(binner.edges)
+	if features == nil {
+		features = make([]int, numFeatures)
+		for i := range features {
+			features[i] = i
+		}
+	}
+	t := &Regressor{importance: make([]float64, numFeatures)}
+	work := make([]int, len(idx))
+	copy(work, idx)
+	t.build(binned, binner, y, work, features, 0, opt)
+	return t
+}
+
+// build grows the subtree over samples and returns its node index.
+func (t *Regressor) build(binned [][]uint8, binner *Binner, y []float64, samples []int, features []int, depth int, opt Options) int32 {
+	var sum float64
+	for _, i := range samples {
+		sum += y[i]
+	}
+	n := float64(len(samples))
+	mean := sum / n
+
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: mean, left: -1, right: -1})
+
+	if depth >= opt.MaxDepth || len(samples) < 2*opt.MinSamplesLeaf {
+		return self
+	}
+
+	bestGain := 0.0
+	bestFeature := -1
+	bestBin := -1
+	parentScore := sum * sum / n
+
+	binSum := make([]float64, opt.Bins)
+	binCnt := make([]float64, opt.Bins)
+	for _, f := range features {
+		nBins := len(binner.edges[f]) + 1
+		if nBins < 2 {
+			continue
+		}
+		for b := 0; b < nBins; b++ {
+			binSum[b] = 0
+			binCnt[b] = 0
+		}
+		for _, i := range samples {
+			b := binned[i][f]
+			binSum[b] += y[i]
+			binCnt[b]++
+		}
+		var leftSum, leftCnt float64
+		for b := 0; b < nBins-1; b++ {
+			leftSum += binSum[b]
+			leftCnt += binCnt[b]
+			rightCnt := n - leftCnt
+			if leftCnt < float64(opt.MinSamplesLeaf) || rightCnt < float64(opt.MinSamplesLeaf) {
+				continue
+			}
+			rightSum := sum - leftSum
+			gain := leftSum*leftSum/leftCnt + rightSum*rightSum/rightCnt - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestBin = b
+			}
+		}
+	}
+
+	if bestFeature < 0 || bestGain <= 1e-12 {
+		return self
+	}
+
+	// partition samples in place
+	lo, hi := 0, len(samples)
+	for lo < hi {
+		if int(binned[samples[lo]][bestFeature]) <= bestBin {
+			lo++
+		} else {
+			hi--
+			samples[lo], samples[hi] = samples[hi], samples[lo]
+		}
+	}
+
+	t.importance[bestFeature] += bestGain
+	t.nodes[self].feature = bestFeature
+	t.nodes[self].threshold = binner.Threshold(bestFeature, bestBin)
+	left := t.build(binned, binner, y, samples[:lo], features, depth+1, opt)
+	right := t.build(binned, binner, y, samples[lo:], features, depth+1, opt)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Fit grows a tree on raw (unbinned) data over all rows.
+func Fit(x *linalg.Matrix, y []float64, opt Options, s *rng.Stream) *Regressor {
+	opt = opt.withDefaults()
+	binner := NewBinner(x, nil, opt.Bins)
+	binned := binner.BinMatrix(x)
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	return FitBinned(binned, binner, y, idx, nil, opt, s)
+}
+
+// Predict returns the tree's prediction for one feature row.
+func (t *Regressor) Predict(row []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if row[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Importance returns the total split gain per feature. The slice aliases
+// the tree's storage; callers must not modify it.
+func (t *Regressor) Importance() []float64 { return t.importance }
+
+// NumNodes returns the size of the fitted tree.
+func (t *Regressor) NumNodes() int { return len(t.nodes) }

@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"dragonvar/internal/linalg"
+	"dragonvar/internal/rng"
+)
+
+// stepData builds y = 10 when x0 <= 0.5 else 20, with an irrelevant x1.
+func stepData(n int, s *rng.Stream) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, s.Float64())
+		x.Set(i, 1, s.Float64())
+		if x.At(i, 0) <= 0.5 {
+			y[i] = 10
+		} else {
+			y[i] = 20
+		}
+	}
+	return x, y
+}
+
+func TestTreeLearnsStepFunction(t *testing.T) {
+	s := rng.New(1)
+	x, y := stepData(500, s)
+	tr := Fit(x, y, Options{MaxDepth: 2}, s)
+	// histogram binning quantizes the threshold, so a sliver near the
+	// boundary may land wrong — judge by mean error, not max
+	var sumErr float64
+	for i := 0; i < x.Rows; i++ {
+		sumErr += math.Abs(tr.Predict(x.Row(i)) - y[i])
+	}
+	if mean := sumErr / float64(x.Rows); mean > 0.5 {
+		t.Fatalf("mean error = %v on a nearly separable step", mean)
+	}
+}
+
+func TestTreeImportancePicksRelevantFeature(t *testing.T) {
+	s := rng.New(2)
+	x, y := stepData(500, s)
+	tr := Fit(x, y, Options{MaxDepth: 3}, s)
+	imp := tr.Importance()
+	if imp[0] <= imp[1] {
+		t.Fatalf("importance = %v; feature 0 drives the target", imp)
+	}
+	if imp[1] > imp[0]*0.2 {
+		t.Fatalf("irrelevant feature has %v of relevant's importance", imp[1]/imp[0])
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	s := rng.New(3)
+	x := linalg.NewMatrix(50, 2)
+	y := make([]float64, 50)
+	for i := range y {
+		x.Set(i, 0, s.Float64())
+		y[i] = 7
+	}
+	tr := Fit(x, y, Options{}, s)
+	if tr.NumNodes() != 1 {
+		t.Fatalf("constant target should give a single leaf, got %d nodes", tr.NumNodes())
+	}
+	if tr.Predict([]float64{0.3, 0.4}) != 7 {
+		t.Fatal("constant prediction wrong")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	s := rng.New(4)
+	n := 800
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		x.Set(i, 0, v)
+		y[i] = v * v * 100 // smooth, always splittable
+	}
+	tr := Fit(x, y, Options{MaxDepth: 2, MinSamplesLeaf: 1}, s)
+	// depth 2: at most 1 + 2 + 4 = 7 nodes
+	if tr.NumNodes() > 7 {
+		t.Fatalf("depth-2 tree has %d nodes", tr.NumNodes())
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	s := rng.New(5)
+	x, y := stepData(40, s)
+	tr := Fit(x, y, Options{MaxDepth: 10, MinSamplesLeaf: 30}, s)
+	// 40 samples cannot split into two leaves of >= 30
+	if tr.NumNodes() != 1 {
+		t.Fatalf("expected single leaf, got %d nodes", tr.NumNodes())
+	}
+}
+
+func TestBinnerMonotone(t *testing.T) {
+	x := linalg.NewMatrix(100, 1)
+	for i := 0; i < 100; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	b := NewBinner(x, nil, 8)
+	prev := -1
+	for v := 0.0; v < 100; v += 1 {
+		bin := b.Bin(0, v)
+		if bin < prev {
+			t.Fatalf("bins not monotone at %v", v)
+		}
+		if bin > 7 {
+			t.Fatalf("bin %d out of range", bin)
+		}
+		prev = bin
+	}
+}
+
+func TestBinnerConstantFeature(t *testing.T) {
+	x := linalg.NewMatrix(10, 1)
+	x.Fill(5)
+	b := NewBinner(x, nil, 8)
+	if got := b.Bin(0, 5); got != 0 {
+		t.Fatalf("constant feature bin = %d", got)
+	}
+	// threshold must still be usable
+	_ = b.Threshold(0, 0)
+}
+
+func TestBinnerSubsetIndices(t *testing.T) {
+	x := linalg.NewMatrix(100, 1)
+	for i := 0; i < 100; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	// binner built only from small values must map big values to the top bin
+	idx := make([]int, 10)
+	for i := range idx {
+		idx[i] = i // values 0..9
+	}
+	b := NewBinner(x, idx, 4)
+	if b.Bin(0, 99) != b.Bin(0, 1000) {
+		t.Fatal("values beyond edges should share the top bin")
+	}
+}
+
+func TestFitBinnedFeatureSubset(t *testing.T) {
+	s := rng.New(6)
+	x, y := stepData(300, s)
+	opt := Options{MaxDepth: 3}.withDefaults()
+	binner := NewBinner(x, nil, opt.Bins)
+	binned := binner.BinMatrix(x)
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	// restrict to the irrelevant feature: tree should be nearly useless
+	tr := FitBinned(binned, binner, y, idx, []int{1}, opt, s)
+	if imp := tr.Importance(); imp[0] != 0 {
+		t.Fatal("excluded feature must have zero importance")
+	}
+	var sse float64
+	for i := 0; i < x.Rows; i++ {
+		d := tr.Predict(x.Row(i)) - y[i]
+		sse += d * d
+	}
+	// variance of y is ~25 per sample; feature 1 cannot reduce it much
+	if sse < 20*float64(x.Rows) {
+		t.Fatalf("irrelevant feature explained too much: sse=%v", sse)
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	s := rng.New(7)
+	x, y := stepData(200, s)
+	tr := Fit(x, y, Options{}, rng.New(8))
+	tr2 := Fit(x, y, Options{}, rng.New(8))
+	for i := 0; i < x.Rows; i++ {
+		if tr.Predict(x.Row(i)) != tr2.Predict(x.Row(i)) {
+			t.Fatal("identical fits should predict identically")
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package viz renders the paper's figures as standalone SVG files using
+// only the standard library: scatter plots (Figure 1), line series
+// (Figures 3, 7, 12), and grouped horizontal bars (Figures 8, 9, 10, 11).
+// The goal is readable, dependency-free plot output — not a general
+// charting library.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// palette is a small colorblind-friendly cycle.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// Series is one named line or scatter series.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a 2D chart under construction.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int
+
+	series  []Series
+	scatter bool
+}
+
+// NewPlot returns an empty 800×450 plot.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, W: 800, H: 450}
+}
+
+// Line adds a line series.
+func (p *Plot) Line(name string, x, y []float64) *Plot {
+	p.series = append(p.series, Series{Name: name, X: x, Y: y})
+	return p
+}
+
+// Scatter switches the plot to scatter rendering (points, no connecting
+// lines).
+func (p *Plot) Scatter() *Plot {
+	p.scatter = true
+	return p
+}
+
+// axes computes the data bounds with a small margin.
+func (p *Plot) axes() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	my := (ymax - ymin) * 0.05
+	return xmin, xmax, ymin - my, ymax + my
+}
+
+// SVG renders the plot.
+func (p *Plot) SVG() string {
+	const mL, mR, mT, mB = 70, 20, 40, 50
+	iw := float64(p.W - mL - mR)
+	ih := float64(p.H - mT - mB)
+	xmin, xmax, ymin, ymax := p.axes()
+	px := func(x float64) float64 { return mL + (x-xmin)/(xmax-xmin)*iw }
+	py := func(y float64) float64 { return mT + ih - (y-ymin)/(ymax-ymin)*ih }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", p.W, p.H)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", p.W, p.H)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", p.W/2, esc(p.Title))
+
+	// axis box and ticks
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#888"/>`+"\n", mL, mT, iw, ih)
+	for _, t := range ticks(xmin, xmax, 6) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.0f" x2="%.1f" y2="%.0f" stroke="#ddd"/>`+"\n", px(t), float64(mT), px(t), mT+ih)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" font-size="11" text-anchor="middle">%s</text>`+"\n", px(t), mT+ih+16, num(t))
+	}
+	for _, t := range ticks(ymin, ymax, 6) {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#ddd"/>`+"\n", mL, py(t), float64(mL)+iw, py(t))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n", mL-6, py(t)+4, num(t))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`+"\n", mL+int(iw/2), p.H-10, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mT+int(ih/2), mT+int(ih/2), esc(p.YLabel))
+
+	// series
+	for si, s := range p.series {
+		color := palette[si%len(palette)]
+		if p.scatter {
+			for i := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.7"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+			}
+		} else if len(s.X) > 0 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// legend entry
+		ly := mT + 14 + 16*si
+		fmt.Fprintf(&b, `<rect x="%.0f" y="%d" width="10" height="10" fill="%s"/>`+"\n", float64(mL)+iw-120, ly, color)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="11">%s</text>`+"\n", float64(mL)+iw-106, ly+9, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// BarChart renders labeled horizontal bars (optionally several groups laid
+// out vertically) as SVG.
+type BarChart struct {
+	Title  string
+	Labels []string
+	Values []float64
+	XLabel string
+	W      int
+}
+
+// SVG renders the bar chart.
+func (c *BarChart) SVG() string {
+	if c.W == 0 {
+		c.W = 700
+	}
+	const rowH, mT, mB, mR = 22, 40, 40, 30
+	labelW := 120
+	for _, l := range c.Labels {
+		if w := 7*len(l) + 16; w > labelW {
+			labelW = w
+		}
+	}
+	h := mT + rowH*len(c.Values) + mB
+	iw := float64(c.W - labelW - mR)
+	var max float64
+	for _, v := range c.Values {
+		max = math.Max(max, v)
+	}
+	if max == 0 {
+		max = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", c.W, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.W, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", c.W/2, esc(c.Title))
+	for i, v := range c.Values {
+		y := mT + i*rowH
+		w := v / max * iw
+		label := ""
+		if i < len(c.Labels) {
+			label = c.Labels[i]
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="end">%s</text>`+"\n", labelW-6, y+14, esc(label))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="%s"/>`+"\n", labelW, y+3, w, rowH-8, palette[0])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="#444">%s</text>`+"\n", float64(labelW)+w+4, y+14, num(v))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n", labelW+int(iw/2), h-10, esc(c.XLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ticks returns ~n round tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := mag
+	for _, m := range []float64{1, 2, 5, 10} {
+		if mag*m >= raw {
+			step = mag * m
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// num formats a tick or bar value compactly.
+func num(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e12:
+		return fmt.Sprintf("%.1fT", v/1e12)
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// esc escapes XML-significant characters.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortedKeys is a small helper for deterministic map iteration in plot
+// builders.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

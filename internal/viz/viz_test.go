@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotSVG(t *testing.T) {
+	p := NewPlot("Title & Co", "step", "seconds")
+	p.Line("a<b", []float64{0, 1, 2}, []float64{1, 4, 2})
+	p.Line("s2", []float64{0, 1, 2}, []float64{2, 2, 3})
+	svg := p.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	// XML escaping
+	if !strings.Contains(svg, "Title &amp; Co") || !strings.Contains(svg, "a&lt;b") {
+		t.Fatal("special characters not escaped")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("non-finite coordinates leaked into SVG")
+	}
+}
+
+func TestScatterPlotSVG(t *testing.T) {
+	p := NewPlot("t", "x", "y").Scatter()
+	p.Line("pts", []float64{1, 2, 3}, []float64{3, 1, 2})
+	svg := p.SVG()
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("circles = %d", strings.Count(svg, "<circle"))
+	}
+	if strings.Contains(svg, "<polyline") {
+		t.Fatal("scatter should not draw lines")
+	}
+}
+
+func TestEmptyPlotDoesNotPanic(t *testing.T) {
+	svg := NewPlot("empty", "x", "y").SVG()
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("empty plot should still render a frame")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	p := NewPlot("c", "x", "y")
+	p.Line("flat", []float64{0, 1}, []float64{5, 5})
+	svg := p.SVG()
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("flat series produced NaN coordinates")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:  "relevance",
+		Labels: []string{"RT_FLIT_TOT", "RT_RB_STL"},
+		Values: []float64{1, 0.5},
+		XLabel: "score",
+	}
+	svg := c.SVG()
+	if strings.Count(svg, "<rect") < 3 { // background + 2 bars
+		t.Fatal("missing bars")
+	}
+	if !strings.Contains(svg, "RT_RB_STL") {
+		t.Fatal("missing labels")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{Labels: []string{"a"}, Values: []float64{0}}
+	if !strings.Contains(c.SVG(), "<svg") {
+		t.Fatal("zero-value chart failed to render")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 3 {
+		t.Fatalf("ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+		if ts[i] < 0 || ts[i] > 10+1e-9 {
+			t.Fatalf("tick out of range: %v", ts)
+		}
+	}
+	// degenerate range
+	if got := ticks(5, 5, 6); len(got) != 2 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestNumFormatting(t *testing.T) {
+	cases := map[float64]string{
+		2.5e12: "2.5T",
+		3e9:    "3.0G",
+		4.2e6:  "4.2M",
+		50000:  "50k",
+		42:     "42",
+		0.37:   "0.37",
+	}
+	for v, want := range cases {
+		if got := num(v); got != want {
+			t.Errorf("num(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
