@@ -5,7 +5,7 @@ CACHE ?= testdata/campaign.gob
 DAYS ?= 130
 SEED ?= 42
 
-.PHONY: all build test vet bench campaign report plots csv clean
+.PHONY: all build test vet race verify bench campaign report plots csv clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: everything the merge gate runs.
+verify: build vet test race
 
 # Full benchmark harness: regenerates every table/figure from the cached
 # campaign (generated on first run, ~5 minutes).

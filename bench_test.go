@@ -333,7 +333,7 @@ func BenchmarkAblationGBRvsLinear(b *testing.B) {
 	if ds == nil || len(ds.Runs) < 4 {
 		b.Skip("no MILC-128 data")
 	}
-	x, y, _ := ds.DeviationSamples()
+	x, y, _, _ := ds.DeviationSamples()
 	// deterministic subsample for speed
 	st := rng.New(benchSeed)
 	idx := st.Perm(x.Rows)

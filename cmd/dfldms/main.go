@@ -2,16 +2,20 @@
 // scaled-down stand-in for the LDMS pipeline that sampled every Aries
 // router on Cori once per second (~5 TB/day, §III-C).
 //
-//	dfldms record [-small] [-days N] [-seed S] [-hours H] [-interval SEC] -out FILE
+//	dfldms record [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] -out FILE
 //	    Replay the background timeline and stream per-router counters.
+//	    -faults injects link/router failures and sampler dropouts; dropout
+//	    windows are recorded as explicit missing-sample markers.
 //
 //	dfldms summarize -in FILE [-top K]
-//	    Read a log back and report its busiest routers.
+//	    Read a log back and report its busiest routers and gap fraction.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -32,11 +36,17 @@ func main() {
 		err = cmdRecord(os.Args[2:])
 	case "summarize":
 		err = cmdSummarize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
 	default:
+		fmt.Fprintf(os.Stderr, "dfldms: unknown command %q\n", os.Args[1])
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
 		fmt.Fprintf(os.Stderr, "dfldms: %v\n", err)
 		os.Exit(1)
 	}
@@ -44,21 +54,24 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] -out FILE
+  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] -out FILE
   dfldms summarize -in FILE [-top K]`)
 }
 
 func cmdRecord(args []string) error {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	small := fs.Bool("small", false, "use the reduced test machine")
 	days := fs.Float64("days", 2, "background timeline length")
 	seed := fs.Int64("seed", 42, "timeline seed")
 	hours := fs.Float64("hours", 1, "recording window length")
 	interval := fs.Float64("interval", 60, "sampling interval, seconds")
+	faults := fs.String("faults", "", `fault spec, e.g. "dropout@3600-7200" (see DESIGN.md)`)
 	out := fs.String("out", "ldms.bin", "output log file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	cfg := cluster.Config{Days: *days, Seed: *seed}
+	cfg := cluster.Config{Days: *days, Seed: *seed, FaultSpec: *faults}
 	if *small {
 		cfg.Machine = topology.Small()
 	}
@@ -105,10 +118,12 @@ func cmdRecord(args []string) error {
 }
 
 func cmdSummarize(args []string) error {
-	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
 	in := fs.String("in", "ldms.bin", "input log file")
 	top := fs.Int("top", 10, "busiest routers to list")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	fh, err := os.Open(*in)
 	if err != nil {
@@ -122,31 +137,46 @@ func cmdSummarize(args []string) error {
 	series := r.NumSeries()
 	routers := series / cluster.LDMSSeriesPerRouter
 
+	// deltas are taken between the first and last HEALTHY samples: missing
+	// markers carry no counter values, only the gap itself
 	var first, last []float64
 	var t0, t1 float64
-	samples := 0
+	samples, missing := 0, 0
 	buf := make([]float64, series)
 	for {
 		t, v, err := r.Next(buf)
-		if err != nil {
+		if err == io.EOF {
 			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *in, err)
 		}
 		if samples == 0 {
 			t0 = t
-			first = append([]float64(nil), v...)
 		}
 		t1 = t
+		samples++
+		if r.Missing() {
+			missing++
+			continue
+		}
+		if first == nil {
+			first = append([]float64(nil), v...)
+		}
 		if last == nil {
 			last = make([]float64, series)
 		}
 		copy(last, v)
-		samples++
 	}
-	if samples < 2 {
-		return fmt.Errorf("log has %d samples; need at least 2", samples)
+	if samples-missing < 2 {
+		return fmt.Errorf("log has %d healthy samples (%d missing); need at least 2", samples-missing, missing)
 	}
 
 	fmt.Printf("log: %d samples over %.0fs, %d routers\n", samples, t1-t0, routers)
+	if missing > 0 {
+		fmt.Printf("sampler dropouts: %d of %d samples missing (%.1f%%)\n",
+			missing, samples, 100*float64(missing)/float64(samples))
+	}
 	type load struct {
 		router int
 		flits  float64

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	dfvar campaign [-days N] [-seed S] [-cache FILE] [-small]
-//	    Simulate the campaign and cache it.
+//	dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC]
+//	    Simulate the campaign and cache it. -faults injects link/router
+//	    failures, node drains, and counter-sampler dropouts (DESIGN.md).
 //
 //	dfvar report [-cache FILE] [-days N] [-seed S] [-small] [-fast] [artifact ...]
 //	    Regenerate artifacts: table1 table2 table3 fig1 fig2 fig3 fig4 fig5
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,28 +56,57 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
 		fmt.Fprintf(os.Stderr, "dfvar: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
+// usageError marks bad command-line input so main exits 2 (usage) instead
+// of 1 (runtime failure).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// parseFlags parses with ContinueOnError semantics: -h propagates
+// flag.ErrHelp (exit 0), anything else becomes a wrapped usage error.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{fmt.Errorf("%s: %w", fs.Name(), err)}
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small]
-  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [artifact ...]
+  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC]
+  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [artifact ...]
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
   dfvar plot     [-cache FILE] [-days N] [-seed S] [-small] [-fast] -out DIR
-artifacts: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 all`)
+artifacts: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 all
+fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
+  link:ID@T0-T1[*FRAC] router:ID@T0-T1 drain:ROUTER@T0-T1 dropout@T0-T1 (comma-separated)`)
 }
 
 // commonFlags defines the flags shared by campaign and report.
 type commonFlags struct {
-	days  float64
-	seed  int64
-	cache string
-	small bool
-	fast  bool
+	days   float64
+	seed   int64
+	cache  string
+	small  bool
+	fast   bool
+	faults string
 }
 
 func addCommon(fs *flag.FlagSet, c *commonFlags) {
@@ -84,10 +115,11 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.StringVar(&c.cache, "cache", "campaign.gob", "campaign cache file (empty to disable)")
 	fs.BoolVar(&c.small, "small", false, "use the reduced test machine instead of Cori")
 	fs.BoolVar(&c.fast, "fast", false, "faster, less accurate ML settings")
+	fs.StringVar(&c.faults, "faults", "", `fault-injection spec, e.g. "links=2,routers=1,dropouts=2" (see DESIGN.md)`)
 }
 
 func (c commonFlags) clusterConfig() cluster.Config {
-	cfg := cluster.Config{Days: c.days, Seed: c.seed}
+	cfg := cluster.Config{Days: c.days, Seed: c.seed, FaultSpec: c.faults}
 	if c.small {
 		cfg.Machine = topology.Small()
 	}
@@ -103,10 +135,12 @@ func (c commonFlags) clusterConfig() cluster.Config {
 }
 
 func cmdCampaign(args []string) error {
-	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	start := time.Now()
 	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
@@ -118,6 +152,10 @@ func cmdCampaign(args []string) error {
 	for _, ds := range camp.Datasets {
 		fmt.Printf("  %-14s %d runs\n", ds.Name, len(ds.Runs))
 	}
+	if camp.Faults != "" {
+		fmt.Printf("faults %q: %d requeues, %.2f%% of samples lost to dropouts\n",
+			camp.Faults, camp.TotalRequeues(), 100*camp.GapFraction())
+	}
 	if c.cache != "" {
 		fmt.Printf("cached to %s\n", c.cache)
 	}
@@ -125,9 +163,11 @@ func cmdCampaign(args []string) error {
 }
 
 func cmdCensus(args []string) error {
-	fs := flag.NewFlagSet("census", flag.ExitOnError)
+	fs := flag.NewFlagSet("census", flag.ContinueOnError)
 	small := fs.Bool("small", false, "use the reduced test machine")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	cfg := topology.Cori()
 	if *small {
 		cfg = topology.Small()
@@ -147,10 +187,12 @@ var cheapArtifacts = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4"
 var allArtifacts = append(append([]string{}, cheapArtifacts...), "fig9", "fig8", "fig10", "fig11", "fig12")
 
 func cmdReport(args []string) error {
-	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	wanted := fs.Args()
 	if len(wanted) == 0 {
@@ -235,11 +277,13 @@ func renderArtifact(suite *experiments.Suite, camp *dataset.Campaign, name strin
 }
 
 func cmdExport(args []string) error {
-	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
 	out := fs.String("out", "csv", "output directory for CSV files")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {
 		return err

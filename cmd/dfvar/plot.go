@@ -16,12 +16,14 @@ import (
 
 // cmdPlot renders figure SVGs from a cached campaign.
 func cmdPlot(args []string) error {
-	fs := flag.NewFlagSet("plot", flag.ExitOnError)
+	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
 	out := fs.String("out", "plots", "output directory for SVG files")
 	fig12 := fs.Bool("fig12", false, "also simulate and plot the Figure 12 long run (slow: rebuilds the cluster)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {

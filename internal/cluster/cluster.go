@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"dragonvar/internal/apps"
 	"dragonvar/internal/counters"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/faults"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/netsim"
 	"dragonvar/internal/rng"
@@ -38,6 +40,10 @@ type Config struct {
 	// estimates of congestion, so longer histories (larger m) average
 	// toward the true level — the §V-C temporal-context effect.
 	CounterNoise float64
+	// FaultSpec is a faults.Parse spec string ("links=3,dropouts=2", ...).
+	// Empty means a perfect machine. The schedule is derived
+	// deterministically from Seed, so a faulted campaign reproduces.
+	FaultSpec string
 	// Progress, when non-nil, receives (completed, total) after each run.
 	Progress func(done, total int)
 }
@@ -74,23 +80,70 @@ type Cluster struct {
 	Topo     *topology.Dragonfly
 	Net      *netsim.Network
 	Timeline *slurm.Timeline
+	// Faults is the campaign's fault schedule; nil for a perfect machine.
+	Faults *faults.Schedule
 
 	root       *rng.Stream
+	curEpoch   int                 // fault epoch currently applied to Net
 	sysRouters []topology.RouterID // scratch, reused per run
 }
 
-// New builds the machine and generates the background timeline.
+// New builds the machine, derives the fault schedule, and generates the
+// (fault-aware) background timeline.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	topo, err := topology.New(cfg.Machine)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	sched, err := faults.Parse(cfg.FaultSpec, topo, cfg.Days*86400, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if sched == nil {
+		// "none" and "" both mean a perfect machine; normalize so the
+		// campaign's cache identity doesn't depend on the spelling
+		cfg.FaultSpec = ""
+	}
 	root := rng.New(cfg.Seed)
 	net := netsim.New(topo, cfg.Net, root.Split("netsim"))
-	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users}, root.Split("timeline"))
-	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, root: root}, nil
+	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users, Faults: sched},
+		root.Split("timeline"))
+	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, Faults: sched, root: root, curEpoch: -1}, nil
 }
+
+// applyFaultsAt derates the network to the fault state at time t. Returns
+// true when the fault epoch changed (cached routes are then stale and the
+// caller must re-resolve).
+func (c *Cluster) applyFaultsAt(t float64) bool {
+	if c.Faults == nil {
+		return false
+	}
+	e := c.Faults.Epoch(t)
+	if e == c.curEpoch {
+		return false
+	}
+	c.curEpoch = e
+	v := c.Faults.ViewAt(t)
+	if v.Clean() {
+		c.Net.SetLinkHealth(nil)
+	} else {
+		c.Net.SetLinkHealth(v.LinkFactor)
+	}
+	return true
+}
+
+// drainError aborts a simulated run whose nodes were lost to a drain,
+// router failure, or partition at campaign time at.
+type drainError struct{ at float64 }
+
+func (e drainError) Error() string {
+	return fmt.Sprintf("cluster: nodes lost to a fault at t=%v", e.at)
+}
+
+// requeueLimit bounds how many times one controlled run is requeued after
+// losing its nodes to a fault.
+const requeueLimit = 3
 
 // plan is one scheduled controlled run.
 type plan struct {
@@ -102,6 +155,9 @@ type plan struct {
 	// approximate unit footprint (flits/s) used when this run appears in
 	// the background of another of our runs
 	footprint *netsim.LoadSet
+	// requeues counts how often this submission lost its nodes to a fault
+	// and was resubmitted
+	requeues int
 }
 
 // RunCampaign schedules and simulates the full controlled experiment
@@ -113,7 +169,7 @@ func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
 		return nil, err
 	}
 
-	camp := &dataset.Campaign{Seed: cfg.Seed, Days: cfg.Days}
+	camp := &dataset.Campaign{Seed: cfg.Seed, Days: cfg.Days, Faults: cfg.FaultSpec}
 	byName := map[string]*dataset.Dataset{}
 	for _, m := range cfg.Models {
 		ds := &dataset.Dataset{Name: m.Name(), App: m.App.String(), Nodes: m.Nodes}
@@ -121,12 +177,37 @@ func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
 		camp.Datasets = append(camp.Datasets, ds)
 	}
 
-	for i, p := range plans {
+	for i := 0; i < len(plans); i++ {
+		p := plans[i]
 		run, err := c.simulate(p, plans, i)
+		var de drainError
+		if errors.As(err, &de) {
+			// the run lost its nodes mid-flight; requeue the submission
+			// after a deterministic backoff, like slurm --requeue would
+			if p.requeues < requeueLimit {
+				p.requeues++
+				rs := c.root.Split(fmt.Sprintf("requeue-%d-%d", i, p.requeues))
+				est := p.estEnd - p.start
+				p.start = de.at + 900*math.Pow(2, float64(p.requeues-1))
+				p.estEnd = p.start + est
+				p.nodes = nil
+				if c.place(p, plans, i, rs) {
+					p.footprint = c.planFootprint(p)
+					i-- // retry the same submission at its new slot
+					continue
+				}
+			}
+			// gave up: the submission never completes and records no run
+			if cfg.Progress != nil {
+				cfg.Progress(i+1, len(plans))
+			}
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
 		run.RunID = i
+		run.Requeues = p.requeues
 		byName[p.model.Name()].Runs = append(byName[p.model.Name()].Runs, run)
 		if cfg.Progress != nil {
 			cfg.Progress(i+1, len(plans))
@@ -167,36 +248,8 @@ func (c *Cluster) schedule() ([]*plan, error) {
 
 	// place in start order; when the machine is full, the job waits in the
 	// queue and retries later (like a real submission would)
-	haswell := c.Topo.ComputeNodes(topology.Haswell)
 	for i, p := range plans {
-		est := p.estEnd - p.start
-		for try := 0; try < 6; try++ {
-			busy := c.Timeline.BusyNodesAt(p.start, p.estEnd)
-			// our jobs run on KNL nodes only (§II-A)
-			for _, n := range haswell {
-				busy[n] = true
-			}
-			for j := 0; j < i; j++ {
-				q := plans[j]
-				if q.nodes != nil && q.start < p.estEnd && q.estEnd > p.start {
-					for _, n := range q.nodes {
-						busy[n] = true
-					}
-				}
-			}
-			alloc := slurm.NewAllocator(c.Topo)
-			compact := s.Uniform(0.05, 0.95)
-			p.nodes = alloc.AllocAvoiding(p.model.Nodes, compact, busy, s)
-			if p.nodes != nil {
-				break
-			}
-			p.start += s.Uniform(1800, 7200)
-			p.estEnd = p.start + est
-			if p.estEnd > c.Timeline.Horizon() {
-				break
-			}
-		}
-		if p.nodes == nil {
+		if !c.place(p, plans, i, s) {
 			continue // gave up on this submission
 		}
 		p.footprint = c.planFootprint(p)
@@ -209,6 +262,46 @@ func (c *Cluster) schedule() ([]*plan, error) {
 		}
 	}
 	return placed, nil
+}
+
+// place allocates nodes for one controlled run, avoiding background jobs,
+// other controlled runs, Haswell nodes, and currently drained nodes. When
+// the machine is full the submission waits in the queue and retries; false
+// means it gave up (or ran off the end of the campaign). Sets p.nodes.
+func (c *Cluster) place(p *plan, plans []*plan, self int, s *rng.Stream) bool {
+	est := p.estEnd - p.start
+	haswell := c.Topo.ComputeNodes(topology.Haswell)
+	for try := 0; try < 6; try++ {
+		if p.estEnd > c.Timeline.Horizon() {
+			return false
+		}
+		busy := c.Timeline.BusyNodesAt(p.start, p.estEnd)
+		// our jobs run on KNL nodes only (§II-A)
+		for _, n := range haswell {
+			busy[n] = true
+		}
+		// the scheduler sees the drain list at submission time but cannot
+		// foresee future drains — those still kill runs mid-flight
+		for n := range c.Faults.DrainedNodes(p.start) {
+			busy[n] = true
+		}
+		for j, q := range plans {
+			if j != self && q.nodes != nil && q.start < p.estEnd && q.estEnd > p.start {
+				for _, n := range q.nodes {
+					busy[n] = true
+				}
+			}
+		}
+		alloc := slurm.NewAllocator(c.Topo)
+		compact := s.Uniform(0.05, 0.95)
+		p.nodes = alloc.AllocAvoiding(p.model.Nodes, compact, busy, s)
+		if p.nodes != nil {
+			return true
+		}
+		p.start += s.Uniform(1800, 7200)
+		p.estEnd = p.start + est
+	}
+	return false
 }
 
 // planFootprint builds the unit (per-second) footprint used when this run
@@ -281,10 +374,29 @@ func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, erro
 	var scaled []netsim.ScaledLoad
 	before := counters.NewBoard(c.Topo.Cfg.NumRouters())
 	// the flow pair list is fixed for the whole run; resolve routes once
+	// per fault epoch (link failures invalidate cached candidate paths)
+	c.applyFaultsAt(t)
 	flows = inst.StepFlows(0, flows[:0])
-	routed := c.Net.Resolve(flows)
+	routed, err := c.Net.ResolveHealthy(flows)
+	if err != nil {
+		// our routers are partitioned off; the job cannot start here
+		return nil, drainError{at: t}
+	}
 	for step := 0; step < p.model.Steps; step++ {
 		dur := inst.StepDuration(step)
+		if c.Faults != nil {
+			// a drain or router failure on our nodes kills the run
+			if tf, failed := c.Faults.FirstFailure(mine, t, t+dur); failed {
+				return nil, drainError{at: tf}
+			}
+			if c.applyFaultsAt(t) {
+				// the pair list is identical across steps, so the stale
+				// flows slice still has the right endpoints to re-resolve
+				if routed, err = c.Net.ResolveHealthy(flows); err != nil {
+					return nil, drainError{at: t}
+				}
+			}
+		}
 		flows = inst.StepFlows(step, flows[:0])
 
 		scaled = scaled[:0]
@@ -329,11 +441,26 @@ func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, erro
 			sys[i] *= 1 + cfg.CounterNoise*noise.NormFloat64()
 		}
 
+		// a sampler dropout loses this step's observations — the run still
+		// executed (step time is known from the job log), but the counter
+		// read is explicitly missing, not zero
+		missing := c.Faults.DropoutOverlaps(t, t+stepRes.Total)
+		if missing {
+			for ci := range rec {
+				rec[ci] = counters.Missing()
+			}
+			for i := range io {
+				io[i] = counters.Missing()
+				sys[i] = counters.Missing()
+			}
+		}
+
 		run.StepTimes = append(run.StepTimes, stepRes.Total)
 		run.Compute = append(run.Compute, stepRes.Compute)
 		run.Counters = append(run.Counters, rec)
 		run.IO = append(run.IO, io)
 		run.Sys = append(run.Sys, sys)
+		run.Missing = append(run.Missing, missing)
 		run.Profile.Add(&stepRes.MPI)
 
 		t += stepRes.Total

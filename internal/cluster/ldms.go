@@ -26,7 +26,10 @@ const LDMSSeriesPerRouter = len(ldmsSources)
 //
 // The replay drives the same network simulator the campaign uses, so the
 // recorded stream is consistent with what instrumented runs would have
-// observed over the same period.
+// observed over the same period. Fault epochs are applied per sample:
+// degraded or dead links reshape the traffic the counters see, and during
+// sampler-dropout windows a missing-sample marker is written instead of
+// counter values (the hardware keeps counting; only the reads are lost).
 func (c *Cluster) RecordLDMS(w *traceio.Writer, t0, t1, interval float64) (int, error) {
 	if interval <= 0 {
 		return 0, fmt.Errorf("cluster: non-positive sampling interval")
@@ -49,7 +52,15 @@ func (c *Cluster) RecordLDMS(w *traceio.Writer, t0, t1, interval float64) (int, 
 				}
 			}
 		}
+		c.applyFaultsAt(t)
 		c.Net.RunRound(nil, scaled, interval)
+		if c.Faults.DropoutAt(t) {
+			if err := w.WriteMissing(t); err != nil {
+				return samples, err
+			}
+			samples++
+			continue
+		}
 		for r := 0; r < nr; r++ {
 			rc := &c.Net.Board.PerRouter[r]
 			base := r * LDMSSeriesPerRouter

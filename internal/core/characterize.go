@@ -55,11 +55,12 @@ func LoadOrGenerate(cfg CampaignConfig) (*dataset.Campaign, error) {
 	}
 	if cfg.CachePath != "" {
 		if camp, err := dataset.Load(cfg.CachePath); err == nil {
-			if camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days {
+			if camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days &&
+				camp.Faults == cfg.Cluster.FaultSpec {
 				return camp, nil
 			}
-			fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v; regenerating\n",
-				cfg.CachePath, camp.Seed, camp.Days)
+			fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v faults=%q; regenerating\n",
+				cfg.CachePath, camp.Seed, camp.Days, camp.Faults)
 		}
 	}
 	c, err := cluster.New(cfg.Cluster)

@@ -47,6 +47,9 @@ type DeviationResult struct {
 	Relevance    []float64
 	MAPE         float64
 	Samples      int
+	// GapFraction is the share of (run, step) observations lost to sampler
+	// dropouts; those samples are excluded before fitting.
+	GapFraction float64
 }
 
 // AnalyzeDeviation runs the GBR + RFE pipeline on one dataset.
@@ -61,8 +64,13 @@ func AnalyzeDeviation(ds *dataset.Dataset, opt DeviationOptions, seed int64) Dev
 		return DeviationResult{Dataset: ds.Name, FeatureNames: names,
 			Relevance: make([]float64, counters.NumJob), MAPE: -1}
 	}
-	x, y, stepMean := ds.DeviationSamples()
-	t := ds.Steps()
+	x, y, stepMean, stepOf := ds.DeviationSamples()
+	if x.Rows == 0 {
+		// every sample lost to dropouts
+		return DeviationResult{Dataset: ds.Name, FeatureNames: names,
+			Relevance: make([]float64, counters.NumJob), MAPE: -1,
+			GapFraction: ds.GapFraction()}
+	}
 
 	s := rng.NewLabeled(seed, "deviation-"+ds.Name)
 	// deterministic subsample of the (run, step) samples
@@ -88,7 +96,7 @@ func AnalyzeDeviation(ds *dataset.Dataset, opt DeviationOptions, seed int64) Dev
 	pred := make([]float64, len(idx))
 	obs := make([]float64, len(idx))
 	for k, i := range idx {
-		step := i % t
+		step := stepOf[i]
 		pred[k] = res.OOFPred[k] + stepMean[step]
 		obs[k] = y[i] + stepMean[step]
 	}
@@ -99,6 +107,7 @@ func AnalyzeDeviation(ds *dataset.Dataset, opt DeviationOptions, seed int64) Dev
 		Relevance:    res.Relevance,
 		MAPE:         stats.MAPE(pred, obs),
 		Samples:      len(idx),
+		GapFraction:  ds.GapFraction(),
 	}
 }
 

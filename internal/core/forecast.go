@@ -27,6 +27,10 @@ func (s ForecastSpec) String() string {
 type ForecastOptions struct {
 	Folds int       // cross-validation folds over runs; default 4
 	NN    nn.Config // zero value uses campaign-tuned defaults
+	// Gaps selects how windows treat steps lost to sampler dropouts:
+	// dataset.GapImpute (default) interpolates, dataset.GapSkip drops
+	// affected windows.
+	Gaps dataset.GapPolicy
 }
 
 func (o ForecastOptions) withDefaults() ForecastOptions {
@@ -54,6 +58,9 @@ type ForecastResult struct {
 	Spec    ForecastSpec
 	MAPE    float64
 	Windows int
+	// GapFraction is the dataset's share of dropped-out observations; the
+	// window builder imputed or skipped them per ForecastOptions.Gaps.
+	GapFraction float64
 }
 
 // Forecast trains and evaluates the attention forecaster with
@@ -62,9 +69,9 @@ type ForecastResult struct {
 func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) ForecastResult {
 	opt = opt.withDefaults()
 	s := rng.NewLabeled(seed, "forecast-"+ds.Name+"-"+spec.String())
-	windows := ds.BuildWindows(spec.Features, spec.M, spec.K)
+	windows := ds.BuildWindowsGap(spec.Features, spec.M, spec.K, opt.Gaps)
 	if len(windows) == 0 {
-		return ForecastResult{Dataset: ds.Name, Spec: spec, MAPE: -1}
+		return ForecastResult{Dataset: ds.Name, Spec: spec, MAPE: -1, GapFraction: ds.GapFraction()}
 	}
 
 	// group windows by run for run-level folds
@@ -100,7 +107,8 @@ func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed 
 		mapeSum += model.MAPE(testSamples)
 		folds++
 	})
-	res := ForecastResult{Dataset: ds.Name, Spec: spec, Windows: len(windows)}
+	res := ForecastResult{Dataset: ds.Name, Spec: spec, Windows: len(windows),
+		GapFraction: ds.GapFraction()}
 	if folds > 0 {
 		res.MAPE = mapeSum / float64(folds)
 	}
@@ -113,7 +121,7 @@ func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed 
 func ForecastImportances(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) (names []string, importance []float64) {
 	opt = opt.withDefaults()
 	s := rng.NewLabeled(seed, "fimp-"+ds.Name+"-"+spec.String())
-	windows := ds.BuildWindows(spec.Features, spec.M, spec.K)
+	windows := ds.BuildWindowsGap(spec.Features, spec.M, spec.K, opt.Gaps)
 	if len(windows) == 0 {
 		return spec.Features.Names(), nil
 	}
@@ -154,7 +162,7 @@ type SegmentForecast struct {
 func ForecastLongRun(trainDS *dataset.Dataset, longRun *dataset.Run, spec ForecastSpec, opt ForecastOptions, seed int64) []SegmentForecast {
 	opt = opt.withDefaults()
 	s := rng.NewLabeled(seed, "flong-"+trainDS.Name)
-	windows := trainDS.BuildWindows(spec.Features, spec.M, spec.K)
+	windows := trainDS.BuildWindowsGap(spec.Features, spec.M, spec.K, opt.Gaps)
 	train := make([]nn.Sample, len(windows))
 	for i, w := range windows {
 		train[i] = nn.Sample{Steps: w.Steps, Target: w.Target}

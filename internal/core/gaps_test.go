@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dragonvar/internal/apps"
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/counters"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/topology"
+)
+
+// gappyCampaign generates (once) a campaign whose days 2 and 3 fall inside
+// a sampler-dropout window, so runs submitted then carry missing markers.
+var (
+	gappyOnce sync.Once
+	gappyVal  *dataset.Campaign
+)
+
+func gappyCampaign(t *testing.T) *dataset.Campaign {
+	t.Helper()
+	gappyOnce.Do(func() {
+		amg := *apps.Find(apps.AMG, 128)
+		amg.Steps = 12
+		milc := *apps.Find(apps.MILC, 128)
+		milc.Steps = 32
+		c, err := cluster.New(cluster.Config{
+			Machine:        topology.Small(),
+			Net:            netsim.DefaultConfig(),
+			Days:           8,
+			Seed:           7,
+			Models:         []*apps.Model{&amg, &milc},
+			MeanRunsPerDay: 2,
+			FaultSpec:      "dropout@86400-259200",
+		})
+		if err != nil {
+			panic(err)
+		}
+		camp, err := c.RunCampaign()
+		if err != nil {
+			panic(err)
+		}
+		gappyVal = camp
+	})
+	if gappyVal == nil {
+		t.Fatal("gappy campaign generation failed")
+	}
+	return gappyVal
+}
+
+func TestAnalyzeDeviationWithGaps(t *testing.T) {
+	camp := gappyCampaign(t)
+	ds := camp.Get("MILC-128")
+	if ds.GapFraction() <= 0 {
+		t.Fatal("two dropout days produced no gaps")
+	}
+	res := AnalyzeDeviation(ds, DeviationOptions{Folds: 4, MaxSamples: 600}, 11)
+	if res.GapFraction != ds.GapFraction() {
+		t.Fatalf("result gap fraction %v != dataset %v", res.GapFraction, ds.GapFraction())
+	}
+	if math.IsNaN(res.MAPE) || math.IsInf(res.MAPE, 0) || res.MAPE < 0 {
+		t.Fatalf("MAPE = %v on a gappy dataset", res.MAPE)
+	}
+	// missing samples are excluded, never fed to the fit
+	dense := len(ds.Runs) * ds.Steps()
+	want := dense - int(math.Round(ds.GapFraction()*float64(dense)))
+	if want > 600 {
+		want = 600
+	}
+	if res.Samples != want {
+		t.Fatalf("samples = %d, want %d", res.Samples, want)
+	}
+}
+
+func TestForecastWithGaps(t *testing.T) {
+	camp := gappyCampaign(t)
+	ds := camp.Get("MILC-128")
+	spec := ForecastSpec{M: 5, K: 5, Features: counters.FeatureSet{}}
+
+	optImpute := fastForecastOpts()
+	imp := Forecast(ds, spec, optImpute, 13)
+	if imp.Windows == 0 {
+		t.Fatal("imputation produced no windows")
+	}
+	if math.IsNaN(imp.MAPE) || math.IsInf(imp.MAPE, 0) || imp.MAPE <= 0 {
+		t.Fatalf("imputed MAPE = %v", imp.MAPE)
+	}
+	if imp.GapFraction != ds.GapFraction() || imp.GapFraction <= 0 {
+		t.Fatalf("gap fraction = %v", imp.GapFraction)
+	}
+
+	optSkip := fastForecastOpts()
+	optSkip.Gaps = dataset.GapSkip
+	skip := Forecast(ds, spec, optSkip, 13)
+	if skip.Windows >= imp.Windows {
+		t.Fatalf("GapSkip kept %d windows, impute %d; skipping should drop some",
+			skip.Windows, imp.Windows)
+	}
+	if skip.Windows > 0 && (math.IsNaN(skip.MAPE) || math.IsInf(skip.MAPE, 0)) {
+		t.Fatalf("skip MAPE = %v", skip.MAPE)
+	}
+}

@@ -8,9 +8,20 @@ package counters
 
 import (
 	"fmt"
+	"math"
 
 	"dragonvar/internal/topology"
 )
+
+// Missing returns the explicit missing-sample marker recorded when the
+// counter samplers were in a dropout window: NaN, which is never produced
+// by a healthy read (counters are finite and non-negative) and which the
+// gap-tolerant analysis code in internal/dataset detects with IsMissing.
+// A missing observation must never be confused with a zero delta.
+func Missing() float64 { return math.NaN() }
+
+// IsMissing reports whether a recorded value is the missing-sample marker.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
 
 // Index identifies one of the 13 job-visible hardware counters, in the
 // order of Table II (which is also the feature order of Figures 9 and 11).

@@ -45,6 +45,15 @@ type Run struct {
 	Counters  [][counters.NumJob]float64 // AriesNCL per-step deltas
 	IO        [][counters.NumLDMS]float64
 	Sys       [][counters.NumLDMS]float64
+	// Missing[s] marks steps whose counter/io/sys observations were lost
+	// to a sampler dropout (the values are counters.Missing() markers).
+	// Step times are still known from the job log. Nil when the campaign
+	// ran without faults.
+	Missing []bool
+
+	// Requeues counts how often this submission lost its nodes to a fault
+	// and was resubmitted before this (successful) execution.
+	Requeues int
 
 	// whole-run mpiP-style profile
 	Profile mpi.Profile
@@ -52,6 +61,25 @@ type Run struct {
 
 // Steps returns the number of recorded time steps.
 func (r *Run) Steps() int { return len(r.StepTimes) }
+
+// MissingAt reports whether step s's observations were lost to a sampler
+// dropout.
+func (r *Run) MissingAt(s int) bool { return s < len(r.Missing) && r.Missing[s] }
+
+// GapFraction is the fraction of the run's steps with missing
+// observations.
+func (r *Run) GapFraction() float64 {
+	if r.Steps() == 0 {
+		return 0
+	}
+	n := 0
+	for s := range r.Missing {
+		if r.Missing[s] {
+			n++
+		}
+	}
+	return float64(n) / float64(r.Steps())
+}
 
 // TotalTime returns the run's total execution time.
 func (r *Run) TotalTime() float64 {
@@ -153,22 +181,48 @@ func (d *Dataset) MeanStepTimes() []float64 {
 }
 
 // MeanCounterTrend returns the mean per-step value of one counter across
-// runs (Figure 7's middle and right plots).
+// runs (Figure 7's middle and right plots). Steps a run lost to a sampler
+// dropout are averaged over the runs that did observe them.
 func (d *Dataset) MeanCounterTrend(c counters.Index) []float64 {
 	t := d.Steps()
 	out := make([]float64, t)
 	if len(d.Runs) == 0 {
 		return out
 	}
+	seen := make([]int, t)
 	for _, r := range d.Runs {
 		for s := 0; s < t; s++ {
+			if r.MissingAt(s) {
+				continue
+			}
 			out[s] += r.Counters[s][c]
+			seen[s]++
 		}
 	}
 	for s := range out {
-		out[s] /= float64(len(d.Runs))
+		if seen[s] > 0 {
+			out[s] /= float64(seen[s])
+		}
 	}
 	return out
+}
+
+// GapFraction is the fraction of (run, step) observations missing across
+// the dataset.
+func (d *Dataset) GapFraction() float64 {
+	var missing, total int
+	for _, r := range d.Runs {
+		total += r.Steps()
+		for s := range r.Missing {
+			if r.Missing[s] {
+				missing++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(missing) / float64(total)
 }
 
 // Optimality returns the per-run optimality vector of §IV-A: run r is
@@ -217,44 +271,66 @@ func (d *Dataset) Cooccurrence(minNodes int) (users []string, m [][]bool) {
 }
 
 // DeviationSamples builds the mean-centered per-step samples of §IV-B:
-// every (run, step) pair is one sample; the features are the counter
-// deltas with the per-step mean trend removed, the target is the step time
-// with its mean trend removed. Returns X of shape (N·T)×H and y of length
-// N·T; stepMean carries the removed trend so callers can reconstruct
-// absolute times.
-func (d *Dataset) DeviationSamples() (x *linalg.Matrix, y []float64, stepMean []float64) {
-	n := len(d.Runs)
+// every observed (run, step) pair is one sample; the features are the
+// counter deltas with the per-step mean trend removed, the target is the
+// step time with its mean trend removed. Steps lost to sampler dropouts
+// contribute no sample and are excluded from the per-step means, so the
+// transform is gap-tolerant: on a dense dataset X has N·T rows in
+// run-major order, on a gappy one fewer. stepMean carries the removed
+// trend and stepOf maps each returned row back to its step index, so
+// callers can reconstruct absolute times even when rows were skipped.
+func (d *Dataset) DeviationSamples() (x *linalg.Matrix, y []float64, stepMean []float64, stepOf []int) {
 	t := d.Steps()
 	h := counters.NumJob
 	stepMean = d.MeanStepTimes()
+
+	// per-step counter means over the runs that observed each step
 	counterMean := make([][]float64, t)
+	seen := make([]int, t)
 	for s := 0; s < t; s++ {
 		counterMean[s] = make([]float64, h)
 	}
+	samples := 0
 	for _, r := range d.Runs {
 		for s := 0; s < t; s++ {
+			if r.MissingAt(s) {
+				continue
+			}
+			samples++
+			seen[s]++
 			for c := 0; c < h; c++ {
 				counterMean[s][c] += r.Counters[s][c]
 			}
 		}
 	}
 	for s := 0; s < t; s++ {
+		if seen[s] == 0 {
+			continue
+		}
 		for c := 0; c < h; c++ {
-			counterMean[s][c] /= float64(n)
+			counterMean[s][c] /= float64(seen[s])
 		}
 	}
-	x = linalg.NewMatrix(n*t, h)
-	y = make([]float64, n*t)
-	for i, r := range d.Runs {
+
+	x = linalg.NewMatrix(samples, h)
+	y = make([]float64, samples)
+	stepOf = make([]int, samples)
+	i := 0
+	for _, r := range d.Runs {
 		for s := 0; s < t; s++ {
-			row := x.Row(i*t + s)
+			if r.MissingAt(s) {
+				continue
+			}
+			row := x.Row(i)
 			for c := 0; c < h; c++ {
 				row[c] = r.Counters[s][c] - counterMean[s][c]
 			}
-			y[i*t+s] = r.StepTimes[s] - stepMean[s]
+			y[i] = r.StepTimes[s] - stepMean[s]
+			stepOf[i] = s
+			i++
 		}
 	}
-	return x, y, stepMean
+	return x, y, stepMean, stepOf
 }
 
 // Window is one forecasting sample (§IV-C, Figure 6): the features of the
@@ -266,16 +342,68 @@ type Window struct {
 	Target float64     // Σ of the next k step times
 }
 
+// GapPolicy selects how BuildWindowsGap treats history steps whose
+// observations were lost to a sampler dropout.
+type GapPolicy int
+
+const (
+	// GapImpute linearly interpolates missing feature steps from the
+	// nearest observed steps of the same run (edge gaps copy the nearest
+	// observation). Keeps the window count of a dense dataset.
+	GapImpute GapPolicy = iota
+	// GapSkip drops every window whose m-step history touches a missing
+	// step. Conservative: fewer but fully observed samples.
+	GapSkip
+)
+
 // BuildWindows slides t_c from m to T−k over every run and returns the
-// samples. fs selects the feature columns.
+// samples, imputing any dropout gaps (equivalent to
+// BuildWindowsGap(fs, m, k, GapImpute)). fs selects the feature columns.
 func (d *Dataset) BuildWindows(fs counters.FeatureSet, m, k int) []Window {
+	return d.BuildWindowsGap(fs, m, k, GapImpute)
+}
+
+// BuildWindowsGap is BuildWindows with an explicit policy for missing
+// steps. Forecast targets are unaffected by gaps (step times come from the
+// job log, not the samplers); only the feature history can be missing.
+func (d *Dataset) BuildWindowsGap(fs counters.FeatureSet, m, k int, policy GapPolicy) []Window {
 	var out []Window
 	t := d.Steps()
 	for ri, r := range d.Runs {
+		if t < m+k {
+			break
+		}
+		hasGap := false
+		for s := 0; s < t; s++ {
+			if r.MissingAt(s) {
+				hasGap = true
+				break
+			}
+		}
+		// per-step feature rows, shared by every window of the run
+		feats := make([][]float64, t)
+		for s := 0; s < t; s++ {
+			feats[s] = r.FeatureVector(s, fs, nil)
+		}
+		if hasGap && policy == GapImpute {
+			imputeRows(feats, r)
+		}
 		for tc := m; tc <= t-k; tc++ {
+			if hasGap && policy == GapSkip {
+				blocked := false
+				for s := tc - m; s < tc; s++ {
+					if r.MissingAt(s) {
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					continue
+				}
+			}
 			w := Window{RunIdx: ri, TC: tc, Steps: make([][]float64, m)}
 			for i := 0; i < m; i++ {
-				w.Steps[i] = r.FeatureVector(tc-m+i, fs, nil)
+				w.Steps[i] = feats[tc-m+i]
 			}
 			for i := tc; i < tc+k; i++ {
 				w.Target += r.StepTimes[i]
@@ -284,6 +412,51 @@ func (d *Dataset) BuildWindows(fs counters.FeatureSet, m, k int) []Window {
 		}
 	}
 	return out
+}
+
+// imputeRows replaces the feature rows of missing steps with linear
+// interpolations between the nearest observed steps (copying the nearest
+// row at the edges; all-missing runs fall back to zeros).
+func imputeRows(feats [][]float64, r *Run) {
+	t := len(feats)
+	prev := make([]int, t) // nearest observed step ≤ s, else -1
+	next := make([]int, t) // nearest observed step ≥ s, else -1
+	last := -1
+	for s := 0; s < t; s++ {
+		if !r.MissingAt(s) {
+			last = s
+		}
+		prev[s] = last
+	}
+	last = -1
+	for s := t - 1; s >= 0; s-- {
+		if !r.MissingAt(s) {
+			last = s
+		}
+		next[s] = last
+	}
+	for s := 0; s < t; s++ {
+		if !r.MissingAt(s) {
+			continue
+		}
+		p, nx := prev[s], next[s]
+		row := feats[s]
+		switch {
+		case p >= 0 && nx >= 0:
+			w := float64(s-p) / float64(nx-p)
+			for j := range row {
+				row[j] = feats[p][j]*(1-w) + feats[nx][j]*w
+			}
+		case p >= 0:
+			copy(row, feats[p])
+		case nx >= 0:
+			copy(row, feats[nx])
+		default:
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
 }
 
 // KFold partitions [0, n) into k shuffled folds; fold i is returned as
@@ -316,9 +489,79 @@ func KFold(n, k int, s *rng.Stream, fn func(fold int, train, test []int)) {
 // metadata, as written to disk by the generator and consumed by every
 // analysis and benchmark.
 type Campaign struct {
-	Seed     int64
-	Days     float64
+	Seed int64
+	Days float64
+	// Faults is the fault-spec string the campaign ran under (empty for a
+	// perfect machine). Part of the cache identity: a cache generated with
+	// different faults must not satisfy a request.
+	Faults   string
 	Datasets []*Dataset
+}
+
+// GapFraction is the fraction of observations missing across the whole
+// campaign.
+func (c *Campaign) GapFraction() float64 {
+	var missing, total int
+	for _, d := range c.Datasets {
+		for _, r := range d.Runs {
+			total += r.Steps()
+			for s := range r.Missing {
+				if r.Missing[s] {
+					missing++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(missing) / float64(total)
+}
+
+// TotalRequeues counts fault requeues across all recorded runs.
+func (c *Campaign) TotalRequeues() int {
+	n := 0
+	for _, d := range c.Datasets {
+		for _, r := range d.Runs {
+			n += r.Requeues
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants every consumer indexes by:
+// non-nil datasets and runs, per-run observation slices of equal length,
+// and a consistent step count within each dataset. A stale or hand-edited
+// campaign cache fails here with a clear message instead of panicking
+// deep inside an analysis.
+func (c *Campaign) Validate() error {
+	for di, d := range c.Datasets {
+		if d == nil {
+			return fmt.Errorf("dataset %d is nil", di)
+		}
+		steps := -1
+		for ri, r := range d.Runs {
+			if r == nil {
+				return fmt.Errorf("dataset %s: run %d is nil", d.Name, ri)
+			}
+			t := len(r.StepTimes)
+			if len(r.Compute) != t || len(r.Counters) != t || len(r.IO) != t || len(r.Sys) != t {
+				return fmt.Errorf("dataset %s: run %d: observation lengths disagree (times=%d compute=%d counters=%d io=%d sys=%d)",
+					d.Name, ri, t, len(r.Compute), len(r.Counters), len(r.IO), len(r.Sys))
+			}
+			if r.Missing != nil && len(r.Missing) != t {
+				return fmt.Errorf("dataset %s: run %d: missing-marker length %d != %d steps",
+					d.Name, ri, len(r.Missing), t)
+			}
+			if steps == -1 {
+				steps = t
+			} else if t != steps {
+				return fmt.Errorf("dataset %s: run %d has %d steps, run 0 has %d",
+					d.Name, ri, t, steps)
+			}
+		}
+	}
+	return nil
 }
 
 // Get returns the dataset with the given name, or nil.
@@ -362,7 +605,10 @@ func Load(path string) (*Campaign, error) {
 	defer f.Close()
 	var c Campaign
 	if err := gob.NewDecoder(f).Decode(&c); err != nil {
-		return nil, fmt.Errorf("dataset: decode: %w", err)
+		return nil, fmt.Errorf("dataset: decode %s: %w (stale or corrupt campaign cache; delete it and regenerate)", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: validate %s: %w (stale or corrupt campaign cache; delete it and regenerate)", path, err)
 	}
 	return &c, nil
 }

@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"math"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dragonvar/internal/counters"
@@ -123,12 +125,18 @@ func TestCooccurrence(t *testing.T) {
 
 func TestDeviationSamplesCentered(t *testing.T) {
 	d := synthetic(4, 5)
-	x, y, stepMean := d.DeviationSamples()
+	x, y, stepMean, stepOf := d.DeviationSamples()
 	if x.Rows != 4*5 || x.Cols != counters.NumJob {
 		t.Fatalf("X shape = %dx%d", x.Rows, x.Cols)
 	}
 	if len(stepMean) != 5 {
 		t.Fatal("stepMean length wrong")
+	}
+	// gap-free dataset: row i is step i%5 of run i/5
+	for i, s := range stepOf {
+		if s != i%5 {
+			t.Fatalf("stepOf[%d] = %d, want %d", i, s, i%5)
+		}
 	}
 	// each step's samples must be centered: mean over runs = 0
 	for s := 0; s < 5; s++ {
@@ -286,5 +294,61 @@ func TestCampaignSaveLoad(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadCorruptCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.gob")
+	if err := os.WriteFile(path, []byte("this is not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil {
+		t.Fatal("corrupt cache loaded without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt campaign cache") {
+		t.Fatalf("error is not descriptive: %v", err)
+	}
+}
+
+func TestLoadDimensionMismatch(t *testing.T) {
+	// a structurally broken campaign — one run's counter slice is shorter
+	// than its step times — must fail Load's validation, not panic later
+	c := &Campaign{Seed: 1, Days: 2, Datasets: []*Dataset{synthetic(2, 4)}}
+	c.Datasets[0].Runs[1].Counters = c.Datasets[0].Runs[1].Counters[:2]
+	path := filepath.Join(t.TempDir(), "mismatch.gob")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil {
+		t.Fatal("dimension mismatch loaded without error")
+	}
+	if !strings.Contains(err.Error(), "observation lengths disagree") {
+		t.Fatalf("error is not descriptive: %v", err)
+	}
+}
+
+func TestValidateMissingMarkers(t *testing.T) {
+	c := &Campaign{Datasets: []*Dataset{synthetic(2, 4)}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Datasets[0].Runs[0].Missing = []bool{true} // wrong length
+	if err := c.Validate(); err == nil {
+		t.Fatal("short missing-marker slice passed validation")
+	}
+	c.Datasets[0].Runs[0].Missing = make([]bool, 4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// uneven step counts within a dataset are rejected
+	c.Datasets[0].Runs[1].StepTimes = c.Datasets[0].Runs[1].StepTimes[:3]
+	c.Datasets[0].Runs[1].Compute = c.Datasets[0].Runs[1].Compute[:3]
+	c.Datasets[0].Runs[1].Counters = c.Datasets[0].Runs[1].Counters[:3]
+	c.Datasets[0].Runs[1].IO = c.Datasets[0].Runs[1].IO[:3]
+	c.Datasets[0].Runs[1].Sys = c.Datasets[0].Runs[1].Sys[:3]
+	if err := c.Validate(); err == nil {
+		t.Fatal("uneven step counts passed validation")
 	}
 }

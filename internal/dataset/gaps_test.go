@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"dragonvar/internal/counters"
+)
+
+// markMissing marks the given steps of one run as lost to a sampler
+// dropout, the way the campaign generator records them: Missing flags set
+// and the per-step observations overwritten with missing markers.
+func markMissing(d *Dataset, runIdx int, steps ...int) {
+	r := d.Runs[runIdx]
+	if r.Missing == nil {
+		r.Missing = make([]bool, r.Steps())
+	}
+	for _, s := range steps {
+		r.Missing[s] = true
+		for c := range r.Counters[s] {
+			r.Counters[s][c] = counters.Missing()
+		}
+		for c := range r.IO[s] {
+			r.IO[s][c] = counters.Missing()
+		}
+		for c := range r.Sys[s] {
+			r.Sys[s][c] = counters.Missing()
+		}
+	}
+}
+
+func TestGapFraction(t *testing.T) {
+	d := synthetic(4, 10)
+	if d.GapFraction() != 0 {
+		t.Fatalf("dense dataset gap fraction = %v", d.GapFraction())
+	}
+	markMissing(d, 0, 2, 3)
+	markMissing(d, 2, 7)
+	if got := d.GapFraction(); got != 3.0/40.0 {
+		t.Fatalf("gap fraction = %v, want 3/40", got)
+	}
+	if got := d.Runs[0].GapFraction(); got != 0.2 {
+		t.Fatalf("run 0 gap fraction = %v, want 0.2", got)
+	}
+}
+
+func TestDeviationSamplesSkipsMissing(t *testing.T) {
+	d := synthetic(4, 10)
+	markMissing(d, 0, 2, 3)
+	markMissing(d, 2, 7)
+	x, y, stepMean, stepOf := d.DeviationSamples()
+	if x.Rows != 37 {
+		t.Fatalf("rows = %d, want 40-3", x.Rows)
+	}
+	if len(y) != 37 || len(stepOf) != 37 || len(stepMean) != 10 {
+		t.Fatalf("lengths: y=%d stepOf=%d stepMean=%d", len(y), len(stepOf), len(stepMean))
+	}
+	// no missing marker leaks into the sample matrix
+	for i := 0; i < x.Rows; i++ {
+		for _, v := range x.Row(i) {
+			if math.IsNaN(v) {
+				t.Fatalf("NaN in feature row %d", i)
+			}
+		}
+		if math.IsNaN(y[i]) {
+			t.Fatalf("NaN target at row %d", i)
+		}
+	}
+	// run 0's rows skip steps 2 and 3 but keep their step indices
+	want := []int{0, 1, 4, 5, 6, 7, 8, 9}
+	for i, s := range want {
+		if stepOf[i] != s {
+			t.Fatalf("stepOf[%d] = %d, want %d", i, stepOf[i], s)
+		}
+	}
+	// steps observed by every run are centered over all four runs: counter 0
+	// of step 0 is 100+i, the mean 101.5, so run 0's deviation is -1.5
+	if got := x.Row(0)[0]; got != -1.5 {
+		t.Fatalf("centered counter = %v, want -1.5", got)
+	}
+	// step 2 was only observed by runs 1..3 (counter 100*3+i): mean over the
+	// observers is 302, so run 1's deviation is 301-302 = -1
+	for i, s := range stepOf {
+		if s == 2 {
+			if got := x.Row(i)[0]; got != -1 {
+				t.Fatalf("gappy-step centering = %v, want -1", got)
+			}
+			break
+		}
+	}
+}
+
+func TestBuildWindowsGapImpute(t *testing.T) {
+	d := synthetic(2, 10)
+	markMissing(d, 0, 0, 4)
+	fs := counters.FeatureSet{}
+	windows := d.BuildWindowsGap(fs, 3, 2, GapImpute)
+	// imputation keeps the dense window count: tc in [3, 8] → 6 per run
+	if len(windows) != 12 {
+		t.Fatalf("windows = %d, want 12", len(windows))
+	}
+	for _, w := range windows {
+		for _, row := range w.Steps {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					t.Fatalf("NaN feature in window run=%d tc=%d", w.RunIdx, w.TC)
+				}
+			}
+		}
+		if math.IsNaN(w.Target) {
+			t.Fatalf("NaN target in window run=%d tc=%d", w.RunIdx, w.TC)
+		}
+		switch {
+		case w.RunIdx == 0 && w.TC == 3:
+			// history covers steps 0..2; edge-missing step 0 copies step 1,
+			// whose counter 0 is 100*(1+1)+0 = 200
+			if got := w.Steps[0][0]; got != 200 {
+				t.Fatalf("edge imputation = %v, want 200", got)
+			}
+		case w.RunIdx == 0 && w.TC == 5:
+			// history covers steps 2..4; counter 0 is linear in the step
+			// (100·(s+1)), so interior interpolation of step 4 from steps 3
+			// and 5 is exact: (400+600)/2 = 500
+			if got := w.Steps[2][0]; got != 500 {
+				t.Fatalf("interior imputation = %v, want 500", got)
+			}
+		}
+	}
+}
+
+func TestBuildWindowsGapSkip(t *testing.T) {
+	d := synthetic(2, 10)
+	markMissing(d, 0, 0, 4)
+	fs := counters.FeatureSet{}
+	windows := d.BuildWindowsGap(fs, 3, 2, GapSkip)
+	// run 0's histories touching steps 0 or 4 are dropped: of tc 3..8 only
+	// tc=4 (steps 1..3) and tc=8 (steps 5..7) survive; run 1 keeps all 6
+	if len(windows) != 8 {
+		t.Fatalf("windows = %d, want 8", len(windows))
+	}
+	var run0 []int
+	for _, w := range windows {
+		if w.RunIdx == 0 {
+			run0 = append(run0, w.TC)
+		}
+		for _, row := range w.Steps {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					t.Fatalf("GapSkip let a missing step through: run=%d tc=%d", w.RunIdx, w.TC)
+				}
+			}
+		}
+	}
+	if len(run0) != 2 || run0[0] != 4 || run0[1] != 8 {
+		t.Fatalf("run 0 surviving windows at tc=%v, want [4 8]", run0)
+	}
+}
+
+func TestBuildWindowsAllMissingRun(t *testing.T) {
+	d := synthetic(2, 10)
+	all := make([]int, 10)
+	for s := range all {
+		all[s] = s
+	}
+	markMissing(d, 0, all...)
+	if got := d.BuildWindowsGap(counters.FeatureSet{}, 3, 2, GapSkip); len(got) != 6 {
+		t.Fatalf("GapSkip with an all-missing run: %d windows, want run 1's 6", len(got))
+	}
+	// GapImpute has nothing to interpolate from: rows fall back to zeros
+	// rather than NaN so training never sees a non-finite feature
+	for _, w := range d.BuildWindowsGap(counters.FeatureSet{}, 3, 2, GapImpute) {
+		for _, row := range w.Steps {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					t.Fatal("all-missing run leaked NaN through imputation")
+				}
+			}
+		}
+	}
+}

@@ -37,8 +37,8 @@ func TestPropertyDeviationSamplesCentered(t *testing.T) {
 		nRuns := int(rawRuns%8) + 2
 		nSteps := int(rawSteps%12) + 2
 		d := randomDataset(seed, nRuns, nSteps)
-		x, y, stepMean := d.DeviationSamples()
-		if x.Rows != nRuns*nSteps || len(stepMean) != nSteps {
+		x, y, stepMean, stepOf := d.DeviationSamples()
+		if x.Rows != nRuns*nSteps || len(stepMean) != nSteps || len(stepOf) != x.Rows {
 			return false
 		}
 		// per step, deviations sum to ~0 over runs, for target and every feature

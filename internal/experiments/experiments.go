@@ -250,8 +250,12 @@ func (s *Suite) Figure9() (string, []core.DeviationResult) {
 		}
 		res := core.AnalyzeDeviation(ds, s.deviationOpts(), s.Seed)
 		results = append(results, res)
-		b.WriteString(report.Bars(fmt.Sprintf("%s (MAPE %.1f%%, top: %s)", res.Dataset, res.MAPE, res.TopCounter()),
-			res.FeatureNames, res.Relevance, 40))
+		label := fmt.Sprintf("%s (MAPE %.1f%%, top: %s)", res.Dataset, res.MAPE, res.TopCounter())
+		if res.GapFraction > 0 {
+			label = fmt.Sprintf("%s (MAPE %.1f%%, top: %s, gaps %.1f%%)",
+				res.Dataset, res.MAPE, res.TopCounter(), 100*res.GapFraction)
+		}
+		b.WriteString(report.Bars(label, res.FeatureNames, res.Relevance, 40))
 		b.WriteByte('\n')
 	}
 	return b.String(), results
@@ -268,7 +272,11 @@ func (s *Suite) forecastFigure(title string, datasets []string, ms, ks []int, fe
 			fmt.Fprintf(&b, "%s: (no data)\n", name)
 			continue
 		}
-		t := report.NewTable(name, "spec", "MAPE %")
+		title := name
+		if gf := ds.GapFraction(); gf > 0 {
+			title = fmt.Sprintf("%s (gaps %.1f%%, imputed)", name, 100*gf)
+		}
+		t := report.NewTable(title, "spec", "MAPE %")
 		for _, k := range ks {
 			for _, m := range ms {
 				for _, fs := range features {

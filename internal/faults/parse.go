@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// Parse builds a schedule from a compact spec string. The spec is a
+// comma-separated list of clauses of two forms:
+//
+// Random clauses (counts drawn deterministically from the seed):
+//
+//	links=N      N random link-down events
+//	degraded=N   N random degraded-bandwidth links
+//	routers=N    N random router-down events
+//	drains=N     N random node-drain events
+//	dropouts=N   N random sampler-dropout windows
+//	outage=SEC   mean outage duration for link/router/drain events
+//	droplen=SEC  mean duration of dropout windows
+//
+// Explicit clauses (for scripted scenarios and tests):
+//
+//	link:ID@T0-T1        link ID down over [T0, T1) seconds
+//	link:ID@T0-T1*F      link ID at capacity fraction F over [T0, T1)
+//	router:ID@T0-T1      router ID down over [T0, T1)
+//	drain:ID@T0-T1       router ID's nodes drained over [T0, T1)
+//	dropout@T0-T1        sampler dropout over [T0, T1)
+//
+// Example: "links=3,dropouts=2" or "link:17@3600-7200*0.5,dropout@0-600".
+// An empty spec yields a nil schedule (no faults). The horizon is the
+// campaign length in seconds; random event windows are drawn inside it.
+func Parse(spec string, topo *topology.Dragonfly, horizon float64, seed int64) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	gen := GenConfig{Horizon: horizon}
+	var explicit []Event
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(clause, "="):
+			key, val, _ := strings.Cut(clause, "=")
+			if err := parseRandomClause(&gen, key, val); err != nil {
+				return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+			}
+		case strings.Contains(clause, "@"):
+			ev, err := parseExplicitClause(clause)
+			if err != nil {
+				return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+			}
+			explicit = append(explicit, ev)
+		default:
+			return nil, fmt.Errorf("faults: clause %q: want key=N or kind:id@t0-t1", clause)
+		}
+	}
+	sched, err := Generate(topo, gen, rng.NewLabeled(seed, "faults"))
+	if err != nil {
+		return nil, err
+	}
+	if len(explicit) > 0 {
+		sched, err = New(topo, append(sched.Events(), explicit...))
+		if err != nil {
+			return nil, err
+		}
+	}
+	sched.spec = spec
+	return sched, nil
+}
+
+func parseRandomClause(gen *GenConfig, key, val string) error {
+	switch key {
+	case "outage", "droplen":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("want a positive duration in seconds, got %q", val)
+		}
+		if key == "outage" {
+			gen.MeanOutage = f
+		} else {
+			gen.MeanDropout = f
+		}
+		return nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return fmt.Errorf("want a non-negative count, got %q", val)
+	}
+	switch key {
+	case "links":
+		gen.LinkDown = n
+	case "degraded":
+		gen.LinkDegraded = n
+	case "routers":
+		gen.RouterDown = n
+	case "drains":
+		gen.NodeDrain = n
+	case "dropouts":
+		gen.Dropouts = n
+	default:
+		return fmt.Errorf("unknown key %q (want links/degraded/routers/drains/dropouts/outage/droplen)", key)
+	}
+	return nil
+}
+
+func parseExplicitClause(clause string) (Event, error) {
+	head, window, _ := strings.Cut(clause, "@")
+	var ev Event
+	var idStr string
+	switch {
+	case head == "dropout":
+		ev.Kind = SamplerDropout
+	case strings.HasPrefix(head, "link:"):
+		ev.Kind = LinkDown
+		idStr = head[len("link:"):]
+	case strings.HasPrefix(head, "router:"):
+		ev.Kind = RouterDown
+		idStr = head[len("router:"):]
+	case strings.HasPrefix(head, "drain:"):
+		ev.Kind = NodeDrain
+		idStr = head[len("drain:"):]
+	default:
+		return ev, fmt.Errorf("unknown fault %q (want link:/router:/drain:/dropout)", head)
+	}
+	if factorStr, ok := cutLast(&window, "*"); ok {
+		if ev.Kind != LinkDown {
+			return ev, fmt.Errorf("capacity factor only applies to link faults")
+		}
+		f, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || !(f > 0 && f < 1) {
+			return ev, fmt.Errorf("capacity factor must be in (0,1), got %q", factorStr)
+		}
+		ev.Kind = LinkDegraded
+		ev.Factor = f
+	}
+	t0Str, t1Str, ok := strings.Cut(window, "-")
+	if !ok {
+		return ev, fmt.Errorf("want a time window T0-T1 after @, got %q", window)
+	}
+	t0, err0 := strconv.ParseFloat(t0Str, 64)
+	t1, err1 := strconv.ParseFloat(t1Str, 64)
+	if err0 != nil || err1 != nil || !(t0 < t1) || t0 < 0 {
+		return ev, fmt.Errorf("bad time window %q (want 0 <= T0 < T1 in seconds)", window)
+	}
+	ev.Start, ev.End = t0, t1
+	if idStr != "" {
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 {
+			return ev, fmt.Errorf("bad id %q", idStr)
+		}
+		if ev.Kind == LinkDown || ev.Kind == LinkDegraded {
+			ev.Link = topology.LinkID(id)
+		} else {
+			ev.Router = topology.RouterID(id)
+		}
+	}
+	return ev, nil
+}
+
+// cutLast splits s at the last occurrence of sep, keeping the prefix in *s
+// and returning the suffix.
+func cutLast(s *string, sep string) (string, bool) {
+	i := strings.LastIndex(*s, sep)
+	if i < 0 {
+		return "", false
+	}
+	suffix := (*s)[i+len(sep):]
+	*s = (*s)[:i]
+	return suffix, true
+}

@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/routing"
+	"dragonvar/internal/topology"
+)
+
+func faultTestNet(t *testing.T) *Network {
+	t.Helper()
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d, DefaultConfig(), rng.New(11))
+}
+
+func TestSetLinkHealthDerates(t *testing.T) {
+	n := faultTestNet(t)
+	base := n.baseCap[0]
+	n.SetLinkHealth(func(l topology.LinkID) float64 {
+		if l == 0 {
+			return 0.5
+		}
+		return 1
+	})
+	if n.linkCap[0] != base/2 {
+		t.Fatalf("linkCap[0] = %v, want %v", n.linkCap[0], base/2)
+	}
+	if n.linkCap[1] != n.baseCap[1] {
+		t.Fatal("healthy link derated")
+	}
+	n.SetLinkHealth(nil)
+	if n.linkCap[0] != base {
+		t.Fatal("restore failed")
+	}
+}
+
+func TestDeratedLinkRaisesSlowdown(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []Flow{{Src: 0, Dst: 1, Flits: 3e9, Packets: 1e5, RequestFraction: 0.9}}
+
+	clean := New(d, DefaultConfig(), rng.New(11))
+	resClean := clean.RunRound(flows, nil, 1)
+
+	hurt := New(d, DefaultConfig(), rng.New(11))
+	// halve every link the clean run could have used
+	hurt.SetLinkHealth(func(l topology.LinkID) float64 { return 0.5 })
+	resHurt := hurt.RunRound(flows, nil, 1)
+
+	if !(resHurt.Slowdown[0] > resClean.Slowdown[0]) {
+		t.Fatalf("derated slowdown %v not above clean %v", resHurt.Slowdown[0], resClean.Slowdown[0])
+	}
+	if math.IsNaN(resHurt.Slowdown[0]) || math.IsInf(resHurt.Slowdown[0], 0) {
+		t.Fatal("slowdown not finite")
+	}
+}
+
+func TestDeadLinksRerouteNotNaN(t *testing.T) {
+	n := faultTestNet(t)
+	d := n.Topology()
+	// kill one of the blue links between groups 0 and 1; traffic must
+	// shift to the survivors with finite results
+	blues := d.GlobalBetween(0, 1)
+	dead := blues[0]
+	n.SetLinkHealth(func(l topology.LinkID) float64 {
+		if l == dead {
+			return 0
+		}
+		return 1
+	})
+	a := d.RouterAt(0, 0, 0)
+	b := d.RouterAt(1, 0, 0)
+	flows := []Flow{{Src: a, Dst: b, Flits: 1e9, Packets: 1e4, RequestFraction: 0.8}}
+	routed, err := n.ResolveHealthy(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.RunRoundRouted(flows, routed, nil, 1)
+	if math.IsNaN(res.Slowdown[0]) || math.IsInf(res.Slowdown[0], 0) || res.Slowdown[0] < 1 {
+		t.Fatalf("slowdown = %v", res.Slowdown[0])
+	}
+	for r := range n.Board.PerRouter {
+		for _, v := range n.Board.PerRouter[r] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("router %d counter not finite: %v", r, n.Board.PerRouter[r])
+			}
+		}
+	}
+}
+
+func TestResolveHealthyPartitioned(t *testing.T) {
+	n := faultTestNet(t)
+	d := n.Topology()
+	var isolated topology.RouterID = 3
+	deadSet := map[topology.LinkID]bool{}
+	for _, l := range d.Incident(isolated) {
+		deadSet[l] = true
+	}
+	n.SetLinkHealth(func(l topology.LinkID) float64 {
+		if deadSet[l] {
+			return 0
+		}
+		return 1
+	})
+	_, err := n.ResolveHealthy([]Flow{{Src: isolated, Dst: 0, Flits: 1}})
+	if !errors.Is(err, routing.ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	// a pair not involving the isolated router still resolves
+	if _, err := n.ResolveHealthy([]Flow{{Src: 0, Dst: 1, Flits: 1}}); err != nil {
+		t.Fatalf("healthy pair: %v", err)
+	}
+}

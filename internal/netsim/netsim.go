@@ -21,6 +21,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 
 	"dragonvar/internal/counters"
@@ -123,7 +124,8 @@ type Network struct {
 
 	// per-link state, reused across rounds
 	linkLoad []float64 // flits assigned to each link this round
-	linkCap  []float64 // flit capacity of each link for a 1-second round
+	linkCap  []float64 // current flit capacity (baseCap derated by faults)
+	baseCap  []float64 // fault-free flit capacity of each link
 	prevLoad []float64 // utilizations of the previous relaxation iteration
 	bgLoad   []float64 // background (precomputed) flits per link this round
 
@@ -165,14 +167,52 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 	}
 	n.linkOnList = make([]bool, len(d.Links))
 	n.routerOnList = make([]bool, d.Cfg.NumRouters())
+	n.baseCap = make([]float64, len(d.Links))
 	for i, l := range d.Links {
 		if l.Type == topology.Blue {
-			n.linkCap[i] = cfg.BlueBandwidth
+			n.baseCap[i] = cfg.BlueBandwidth
 		} else {
-			n.linkCap[i] = cfg.LinkBandwidth
+			n.baseCap[i] = cfg.LinkBandwidth
 		}
 	}
+	copy(n.linkCap, n.baseCap)
 	return n
+}
+
+// SetLinkHealth applies a fault view to the fabric: each link's capacity
+// becomes baseCap · factor(link), links with factor ≤ 0 are dead and are
+// avoided by all subsequent route resolution, and the path cache is
+// invalidated (routes picked under the old fault state may now traverse
+// dead links). Pass nil to restore the fault-free machine. The caller
+// re-resolves routes after changing health; stale RoutedFlows remain
+// usable but their traffic across dead links is priced at effectively
+// infinite congestion rather than dropped.
+func (n *Network) SetLinkHealth(factor func(topology.LinkID) float64) {
+	if factor == nil {
+		copy(n.linkCap, n.baseCap)
+		n.eng.SetAvoid(nil)
+		n.ResetCache()
+		return
+	}
+	anyDead := false
+	for i := range n.linkCap {
+		f := factor(topology.LinkID(i))
+		if f < 0 {
+			f = 0
+		} else if f > 1 {
+			f = 1
+		}
+		n.linkCap[i] = n.baseCap[i] * f
+		if n.linkCap[i] <= 0 {
+			anyDead = true
+		}
+	}
+	if anyDead {
+		n.eng.SetAvoid(func(l topology.LinkID) bool { return n.linkCap[l] <= 0 })
+	} else {
+		n.eng.SetAvoid(nil)
+	}
+	n.ResetCache()
 }
 
 // Topology returns the machine being simulated.
@@ -200,6 +240,11 @@ func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
 	n.pathCache[key] = p
 	return p
 }
+
+// deadUtil is the utilization assigned to a dead (zero-capacity) link so
+// that any stale route still crossing it is priced out by the adaptive
+// split and shows up as an enormous — but finite — slowdown.
+const deadUtil = 1e6
 
 // queueDelay is the congestion delay at utilization u: an M/M/1-style
 // convex curve, clamped so overload stays finite but very painful.
@@ -253,6 +298,25 @@ func (n *Network) Resolve(flows []Flow) *RoutedFlows {
 	return r
 }
 
+// ResolveHealthy is Resolve for a faulted fabric: it errors (wrapping
+// routing.ErrPartitioned) when any flow's endpoints are disconnected by
+// link failures instead of silently returning an unroutable flow.
+func (n *Network) ResolveHealthy(flows []Flow) (*RoutedFlows, error) {
+	r := &RoutedFlows{
+		paths:   make([][]routing.Path, len(flows)),
+		weights: make([][]float64, len(flows)),
+	}
+	for i, f := range flows {
+		paths := n.candidates(f.Src, f.Dst)
+		if len(paths) == 0 && f.Src != f.Dst {
+			return nil, fmt.Errorf("netsim: flow %d (router %d → %d): %w", i, f.Src, f.Dst, routing.ErrPartitioned)
+		}
+		r.paths[i] = paths
+		r.weights[i] = make([]float64, len(paths))
+	}
+	return r, nil
+}
+
 // RunRound simulates `duration` seconds of traffic: the adaptively routed
 // foreground flows plus any number of precomputed background footprints
 // (production jobs whose routing was fixed at placement). Returns the
@@ -294,6 +358,11 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 		}
 		s := bg.Scale
 		for i, id := range bg.Set.LinkIDs {
+			if n.linkCap[id] <= 0 {
+				// the link is dead; its static background footprint was
+				// routed before the fault and simply does not flow
+				continue
+			}
 			n.bgLoad[id] += bg.Set.LinkFlits[i] * s
 			n.touchLink(id)
 		}
@@ -323,6 +392,10 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 	// the adaptive foreground reacts to the background from iteration 0
 	invDur := 1 / duration
 	for _, l := range n.activeLinks {
+		if n.linkCap[l] <= 0 {
+			n.prevLoad[l] = deadUtil
+			continue
+		}
 		n.prevLoad[l] = n.bgLoad[l] / n.linkCap[l] * invDur
 	}
 
@@ -362,7 +435,9 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 				for j := range weights {
 					weights[j] = 0
 				}
-				weights[0] = 1
+				if len(weights) > 0 {
+					weights[0] = 1
+				}
 			}
 			for j, p := range paths {
 				share := f.Flits * weights[j]
@@ -370,12 +445,19 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 					continue
 				}
 				for _, l := range p.Links {
+					if n.linkCap[l] <= 0 {
+						continue // dead link carries nothing
+					}
 					n.linkLoad[l] += share
 				}
 			}
 		}
 		// feed utilizations back for the next iteration
 		for _, l := range n.activeLinks {
+			if n.linkCap[l] <= 0 {
+				n.prevLoad[l] = deadUtil
+				continue
+			}
 			n.prevLoad[l] = n.linkLoad[l] / n.linkCap[l] * invDur
 		}
 	}
@@ -471,7 +553,7 @@ func (n *Network) accumulateTransitCounters(duration float64) {
 	b := n.Board
 	for _, i := range n.activeLinks {
 		load := n.linkLoad[i]
-		if load == 0 {
+		if load == 0 || n.linkCap[i] <= 0 {
 			continue
 		}
 		l := n.topo.Links[i]

@@ -1,0 +1,148 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// Fault-avoidance properties: with an avoid predicate installed, no
+// returned path — minimal, Valiant, or the adaptive candidate set with its
+// BFS fallback — may traverse a failed link, and a genuinely partitioned
+// pair must surface ErrPartitioned rather than a bogus route.
+
+// randomFailures marks every link id hashing below frac as failed.
+func randomFailures(d *topology.Dragonfly, seed int64, frac float64) map[topology.LinkID]bool {
+	s := rng.New(seed)
+	failed := map[topology.LinkID]bool{}
+	for _, l := range d.Links {
+		if s.Float64() < frac {
+			failed[l.ID] = true
+		}
+	}
+	return failed
+}
+
+func TestPropertyNoPathTraversesFailedLink(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := d.Cfg.NumRouters()
+
+	f := func(rawA, rawB uint16, seed int64) bool {
+		a := topology.RouterID(int(rawA) % nr)
+		b := topology.RouterID(int(rawB) % nr)
+		failed := randomFailures(d, seed, 0.15)
+		e := NewEngine(d)
+		e.SetAvoid(func(l topology.LinkID) bool { return failed[l] })
+		s := rng.New(seed + 1)
+		var all []Path
+		all = append(all, e.MinimalPaths(a, b, 4, s)...)
+		if a != b {
+			all = append(all, e.ValiantPaths(a, b, 2, s)...)
+		}
+		all = append(all, e.Candidates(a, b, CandidateOptions{MaxMinimal: 4, MaxValiant: 2}, s)...)
+		for _, p := range all {
+			if !pathValid(d, a, b, p) {
+				return false
+			}
+			for _, l := range p.Links {
+				if failed[l] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSFallbackWhenStructuredPathsBlocked(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail every blue link between groups 0 and 1; the fabric stays
+	// connected through the other groups, so routing must degrade to a
+	// detour instead of giving up.
+	failed := map[topology.LinkID]bool{}
+	for _, l := range d.GlobalBetween(0, 1) {
+		failed[l] = true
+	}
+	e := NewEngine(d)
+	e.SetAvoid(func(l topology.LinkID) bool { return failed[l] })
+
+	a := d.RouterAt(0, 0, 0)
+	b := d.RouterAt(1, 0, 0)
+	paths, err := e.Route(a, b, CandidateOptions{MaxMinimal: 4, MaxValiant: 2}, rng.New(3))
+	if err != nil {
+		t.Fatalf("connected fabric reported as partitioned: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no path despite connected fabric")
+	}
+	for _, p := range paths {
+		if !pathValid(d, a, b, p) {
+			t.Fatalf("invalid path %+v", p)
+		}
+		for _, l := range p.Links {
+			if failed[l] {
+				t.Fatalf("path traverses failed blue link %d", l)
+			}
+		}
+	}
+}
+
+func TestPartitionedTopologyReturnsError(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isolate one router by failing every incident link.
+	var isolated topology.RouterID = 5
+	failed := map[topology.LinkID]bool{}
+	for _, l := range d.Incident(isolated) {
+		failed[l] = true
+	}
+	e := NewEngine(d)
+	e.SetAvoid(func(l topology.LinkID) bool { return failed[l] })
+
+	_, err = e.Route(isolated, 0, CandidateOptions{MaxMinimal: 4, MaxValiant: 2}, rng.New(3))
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	_, err = e.Route(0, isolated, CandidateOptions{MaxMinimal: 4, MaxValiant: 2}, rng.New(3))
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("reverse direction err = %v, want ErrPartitioned", err)
+	}
+	// Unaffected pairs still route.
+	if _, err := e.Route(0, 1, CandidateOptions{MaxMinimal: 4}, rng.New(3)); err != nil {
+		t.Fatalf("healthy pair errored: %v", err)
+	}
+	// Self-route of the isolated router stays valid (it never leaves).
+	if paths, err := e.Route(isolated, isolated, CandidateOptions{MaxMinimal: 4}, rng.New(3)); err != nil || len(paths) == 0 {
+		t.Fatalf("self route = (%v, %v)", paths, err)
+	}
+}
+
+func TestSetAvoidNilRestores(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(d)
+	e.SetAvoid(func(l topology.LinkID) bool { return true })
+	if got := e.MinimalPaths(0, 1, 4, nil); len(got) != 0 {
+		t.Fatalf("all links failed but got %d paths", len(got))
+	}
+	e.SetAvoid(nil)
+	if got := e.MinimalPaths(0, 1, 4, nil); len(got) == 0 {
+		t.Fatal("restored engine returns no paths")
+	}
+}

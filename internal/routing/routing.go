@@ -11,9 +11,16 @@
 package routing
 
 import (
+	"errors"
+	"fmt"
+
 	"dragonvar/internal/rng"
 	"dragonvar/internal/topology"
 )
+
+// ErrPartitioned is returned (wrapped) by Route when no healthy path exists
+// between two routers, i.e. link failures have partitioned the fabric.
+var ErrPartitioned = errors.New("routing: topology partitioned")
 
 // Path is a route between two routers as an ordered list of traversed
 // links. An empty Links slice is the degenerate path from a router to
@@ -30,6 +37,9 @@ func (p Path) Hops() int { return len(p.Links) }
 // Engine answers path queries against a wired dragonfly.
 type Engine struct {
 	d *topology.Dragonfly
+	// avoid marks links that must not appear in any returned path (failed
+	// or quiesced links). Nil means every link is usable.
+	avoid func(topology.LinkID) bool
 }
 
 // NewEngine returns a path engine for machine d.
@@ -37,6 +47,29 @@ func NewEngine(d *topology.Dragonfly) *Engine { return &Engine{d: d} }
 
 // Machine returns the underlying dragonfly.
 func (e *Engine) Machine() *topology.Dragonfly { return e.d }
+
+// SetAvoid installs the failed-link predicate. Paths returned by every
+// enumeration method afterwards avoid links for which avoid reports true.
+// Pass nil to restore the fault-free engine.
+func (e *Engine) SetAvoid(avoid func(topology.LinkID) bool) { e.avoid = avoid }
+
+// usable reports whether a path traverses no avoided link.
+func (e *Engine) usable(p Path) bool {
+	if e.avoid == nil {
+		return true
+	}
+	for _, l := range p.Links {
+		if e.avoid(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// linkOK reports whether a single link is usable.
+func (e *Engine) linkOK(l topology.LinkID) bool {
+	return e.avoid == nil || !e.avoid(l)
+}
 
 // IntraGroupPaths returns the minimal paths between two routers of the
 // same group: the direct green or black link when the routers share a row
@@ -68,9 +101,30 @@ func (e *Engine) IntraGroupPaths(a, b topology.RouterID) []Path {
 	}
 }
 
-// intraFirst returns one minimal intra-group path (the row-first variant).
-func (e *Engine) intraFirst(a, b topology.RouterID) Path {
-	return e.IntraGroupPaths(a, b)[0]
+// intraUsable returns the minimal intra-group paths that avoid failed
+// links. May be empty when faults block both corner routes.
+func (e *Engine) intraUsable(a, b topology.RouterID) []Path {
+	all := e.IntraGroupPaths(a, b)
+	if e.avoid == nil {
+		return all
+	}
+	out := all[:0:0]
+	for _, p := range all {
+		if e.usable(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// intraFirst returns one usable minimal intra-group path, preferring the
+// row-first variant. ok is false when faults block every variant.
+func (e *Engine) intraFirst(a, b topology.RouterID) (Path, bool) {
+	paths := e.intraUsable(a, b)
+	if len(paths) == 0 {
+		return Path{}, false
+	}
+	return paths[0], true
 }
 
 // concat joins path segments into one path.
@@ -91,18 +145,26 @@ func concat(minimal bool, segs ...[]topology.LinkID) Path {
 // in a's group. variant alternates between the two-hop corner routes of
 // the intra-group segments so different candidates do not funnel through
 // the same first link.
-func (e *Engine) globalSegment(a, b topology.RouterID, l topology.LinkID, minimal bool, variant int) Path {
+// ok is false when the blue link itself or every intra-group variant on
+// either side is failed.
+func (e *Engine) globalSegment(a, b topology.RouterID, l topology.LinkID, minimal bool, variant int) (Path, bool) {
+	if !e.linkOK(l) {
+		return Path{}, false
+	}
 	d := e.d
 	link := d.Links[l]
 	x, y := link.A, link.B
 	if d.Group(x) != d.Group(a) {
 		x, y = y, x
 	}
-	heads := e.IntraGroupPaths(a, x)
-	tails := e.IntraGroupPaths(y, b)
+	heads := e.intraUsable(a, x)
+	tails := e.intraUsable(y, b)
+	if len(heads) == 0 || len(tails) == 0 {
+		return Path{}, false
+	}
 	head := heads[variant%len(heads)]
 	tail := tails[variant%len(tails)]
-	return concat(minimal, head.Links, []topology.LinkID{l}, tail.Links)
+	return concat(minimal, head.Links, []topology.LinkID{l}, tail.Links), true
 }
 
 // MinimalPaths returns up to maxCandidates minimal paths from a to b. For
@@ -116,7 +178,7 @@ func (e *Engine) MinimalPaths(a, b topology.RouterID, maxCandidates int, s *rng.
 	}
 	ga, gb := d.Group(a), d.Group(b)
 	if ga == gb {
-		paths := e.IntraGroupPaths(a, b)
+		paths := e.intraUsable(a, b)
 		if len(paths) > maxCandidates {
 			paths = paths[:maxCandidates]
 		}
@@ -126,7 +188,9 @@ func (e *Engine) MinimalPaths(a, b topology.RouterID, maxCandidates int, s *rng.
 	idxs := sampleIndices(len(blues), maxCandidates, s)
 	paths := make([]Path, 0, len(idxs))
 	for k, i := range idxs {
-		paths = append(paths, e.globalSegment(a, b, blues[i], true, k))
+		if p, ok := e.globalSegment(a, b, blues[i], true, k); ok {
+			paths = append(paths, p)
+		}
 	}
 	return paths
 }
@@ -153,6 +217,9 @@ func (e *Engine) ValiantPaths(a, b topology.RouterID, maxCandidates int, s *rng.
 		}
 		l1 := b1[s.Intn(len(b1))]
 		l2 := b2[s.Intn(len(b2))]
+		if !e.linkOK(l1) || !e.linkOK(l2) {
+			continue
+		}
 		// a → (l1) → arrival in gi → (l2) → arrival in gb → b
 		link1 := d.Links[l1]
 		x1, y1 := link1.A, link1.B
@@ -164,9 +231,12 @@ func (e *Engine) ValiantPaths(a, b topology.RouterID, maxCandidates int, s *rng.
 		if d.Group(x2) != gi {
 			x2, y2 = y2, x2
 		}
-		head := e.intraFirst(a, x1)
-		mid := e.intraFirst(y1, x2)
-		tail := e.intraFirst(y2, b)
+		head, ok1 := e.intraFirst(a, x1)
+		mid, ok2 := e.intraFirst(y1, x2)
+		tail, ok3 := e.intraFirst(y2, b)
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
 		paths = append(paths, concat(false,
 			head.Links, []topology.LinkID{l1}, mid.Links, []topology.LinkID{l2}, tail.Links))
 	}
@@ -180,7 +250,11 @@ type CandidateOptions struct {
 }
 
 // Candidates returns the adaptive-routing candidate set for a flow from a
-// to b: a handful of minimal paths plus (optionally) Valiant detours.
+// to b: a handful of minimal paths plus (optionally) Valiant detours. Under
+// faults the structured candidates may all be blocked; Candidates then
+// degrades to a breadth-first search over the healthy fabric, returning a
+// single (possibly long) route, and only yields an empty set when the two
+// routers are truly partitioned.
 func (e *Engine) Candidates(a, b topology.RouterID, opt CandidateOptions, s *rng.Stream) []Path {
 	if opt.MaxMinimal <= 0 {
 		opt.MaxMinimal = 4
@@ -189,7 +263,78 @@ func (e *Engine) Candidates(a, b topology.RouterID, opt CandidateOptions, s *rng
 	if opt.MaxValiant > 0 && a != b {
 		paths = append(paths, e.ValiantPaths(a, b, opt.MaxValiant, s)...)
 	}
+	if len(paths) == 0 && a != b && e.avoid != nil {
+		if p, ok := e.bfsHealthy(a, b); ok {
+			paths = append(paths, p)
+		}
+	}
 	return paths
+}
+
+// Route returns the candidate set for a → b, or a wrapped ErrPartitioned
+// when link failures have disconnected the two routers.
+func (e *Engine) Route(a, b topology.RouterID, opt CandidateOptions, s *rng.Stream) ([]Path, error) {
+	paths := e.Candidates(a, b, opt, s)
+	if len(paths) == 0 && a != b {
+		return nil, fmt.Errorf("no healthy path from router %d to router %d: %w", a, b, ErrPartitioned)
+	}
+	return paths, nil
+}
+
+// bfsHealthy finds a shortest path over healthy links only, ignoring the
+// dragonfly routing hierarchy. It is the last-resort fallback once faults
+// have blocked every structured candidate.
+func (e *Engine) bfsHealthy(a, b topology.RouterID) (Path, bool) {
+	d := e.d
+	n := d.Cfg.NumRouters()
+	prevLink := make([]topology.LinkID, n)
+	visited := make([]bool, n)
+	for i := range prevLink {
+		prevLink[i] = -1
+	}
+	queue := []topology.RouterID{a}
+	visited[a] = true
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, l := range d.Incident(r) {
+			if !e.linkOK(l) {
+				continue
+			}
+			link := d.Links[l]
+			next := link.A
+			if next == r {
+				next = link.B
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			prevLink[next] = l
+			if next == b {
+				// walk back to a collecting links
+				var rev []topology.LinkID
+				cur := b
+				for cur != a {
+					pl := prevLink[cur]
+					rev = append(rev, pl)
+					lk := d.Links[pl]
+					if lk.A == cur {
+						cur = lk.B
+					} else {
+						cur = lk.A
+					}
+				}
+				links := make([]topology.LinkID, len(rev))
+				for i, l2 := range rev {
+					links[len(rev)-1-i] = l2
+				}
+				return Path{Links: links}, true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return Path{}, false
 }
 
 // LoadFunc reports the caller's current congestion estimate for a link,

@@ -18,11 +18,27 @@ import (
 	"math"
 	"sort"
 
+	"dragonvar/internal/faults"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/netsim"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/topology"
 )
+
+// Job completion states, mirroring sacct's State column.
+const (
+	StateCompleted = "COMPLETED"
+	StateNodeFail  = "NODE_FAIL"
+)
+
+// requeueBackoff is the wall-clock delay before a node-failed job is
+// resubmitted: 15 min doubling per attempt, like a conservative
+// SchedulerParameters requeue policy.
+func requeueBackoff(attempt int) float64 { return 900 * math.Pow(2, float64(attempt)) }
+
+// maxRequeues bounds how many times one submission is requeued after
+// node failures before the scheduler gives up on it.
+const maxRequeues = 3
 
 // SelfUserID is the anonymized ID under which the campaign's controlled
 // jobs appear in the queue log (User 8 in Table III).
@@ -127,7 +143,27 @@ type Job struct {
 	Load   *netsim.LoadSet // unit-intensity network footprint
 	booked float64         // per-second unit scale (flits/s at intensity 1)
 
+	// State is the sacct completion state (StateCompleted unless the job
+	// was killed by a node drain/failure) and Attempt counts requeues of
+	// the same submission (0 = first placement).
+	State   string
+	Attempt int
+
 	intensity []float64 // per-minute AR(1) intensity factors
+}
+
+// Routers returns the distinct routers the job's nodes attach to.
+func (j *Job) Routers(topo *topology.Dragonfly) []topology.RouterID {
+	seen := map[topology.RouterID]bool{}
+	var out []topology.RouterID
+	for _, n := range j.Nodes {
+		r := topo.RouterOfNode(n)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Duration returns the job's wall time in seconds.
@@ -164,6 +200,8 @@ type Record struct {
 	NumNodes int
 	Start    float64
 	End      float64
+	State    string // COMPLETED, or NODE_FAIL for drain-killed jobs
+	Attempt  int    // requeue generation of this submission (0 = first)
 }
 
 // Timeline is the generated background schedule of the machine.
@@ -199,6 +237,10 @@ func (tl *Timeline) Overlapping(t0, t1 float64) []*Job {
 func (tl *Timeline) Records() []Record {
 	out := make([]Record, len(tl.Jobs))
 	for i, j := range tl.Jobs {
+		state := j.State
+		if state == "" {
+			state = StateCompleted
+		}
 		out[i] = Record{
 			JobID:    j.ID,
 			UserName: j.User.Name(),
@@ -206,9 +248,23 @@ func (tl *Timeline) Records() []Record {
 			NumNodes: len(j.Nodes),
 			Start:    j.Start,
 			End:      j.End,
+			State:    state,
+			Attempt:  j.Attempt,
 		}
 	}
 	return out
+}
+
+// Requeues counts the jobs in the timeline that are resubmissions of a
+// node-failed attempt.
+func (tl *Timeline) Requeues() int {
+	n := 0
+	for _, j := range tl.Jobs {
+		if j.Attempt > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // NeighborUsers returns the distinct user names with at least one job of
@@ -265,6 +321,11 @@ type GenerateConfig struct {
 	// pool, so rosters tuned for Cori still generate on small test
 	// machines. Default 0.25.
 	MaxJobFraction float64
+	// Faults, when non-nil, makes the scheduler fault-aware: it avoids
+	// nodes that are drained at submission time, kills jobs whose routers
+	// drain or fail mid-run (sacct state NODE_FAIL), and requeues them
+	// with bounded exponential backoff in campaign wall-clock time.
+	Faults *faults.Schedule
 }
 
 // Generate builds a background timeline: Poisson arrivals per user,
@@ -282,11 +343,18 @@ func Generate(net *netsim.Network, cfg GenerateConfig, s *rng.Stream) *Timeline 
 	horizon := cfg.Days * 86400
 
 	type arrival struct {
-		t    float64
-		user *User
-		try  int
+		t       float64
+		user    *User
+		try     int // queue-wait retries of this placement attempt
+		attempt int // requeue generation after node failures
 	}
 	var arrivals []arrival
+	insert := func(a arrival) {
+		idx := sort.Search(len(arrivals), func(i int) bool { return arrivals[i].t >= a.t })
+		arrivals = append(arrivals, arrival{})
+		copy(arrivals[idx+1:], arrivals[idx:])
+		arrivals[idx] = a
+	}
 	arrStream := s.Split("arrivals")
 	for _, u := range users {
 		n := poisson(arrStream, u.Workload.JobsPerDay*cfg.Days)
@@ -326,17 +394,20 @@ func Generate(net *netsim.Network, cfg GenerateConfig, s *rng.Stream) *Timeline 
 		if size > maxNodes {
 			size = maxNodes
 		}
-		nodes := alloc.Alloc(size, placeStream.Float64(), placeStream)
+		// drained nodes are unallocatable right now; the scheduler cannot
+		// see future drains, so jobs can still be caught by one mid-run
+		var nodes []topology.NodeID
+		if drained := cfg.Faults.DrainedNodes(a.t); len(drained) > 0 {
+			nodes = alloc.AllocAvoiding(size, placeStream.Float64(), drained, placeStream)
+		} else {
+			nodes = alloc.Alloc(size, placeStream.Float64(), placeStream)
+		}
 		if nodes == nil {
 			// queue wait: retry later a few times, then give up
 			if a.try < 4 {
 				a.try++
 				a.t += placeStream.Uniform(1800, 7200)
-				// reinsert in order
-				idx := sort.Search(len(arrivals), func(i int) bool { return arrivals[i].t >= a.t })
-				arrivals = append(arrivals, arrival{})
-				copy(arrivals[idx+1:], arrivals[idx:])
-				arrivals[idx] = a
+				insert(a)
 			}
 			continue
 		}
@@ -349,15 +420,33 @@ func Generate(net *netsim.Network, cfg GenerateConfig, s *rng.Stream) *Timeline 
 			end = horizon
 		}
 		j := &Job{
-			ID:    nextID,
-			User:  a.user,
-			Nodes: nodes,
-			Start: a.t,
-			End:   end,
+			ID:      nextID,
+			User:    a.user,
+			Nodes:   nodes,
+			Start:   a.t,
+			End:     end,
+			State:   StateCompleted,
+			Attempt: a.attempt,
 		}
 		nextID++
+		// the intensity series spans the PLANNED duration, before any
+		// fault truncation below: the per-minute draw count then stays
+		// identical between a faulted campaign and its clean twin, so the
+		// shared stream never diverges before the first fault actually hits
 		j.buildFootprint(net)
 		j.buildIntensity(jobStream)
+		// a drain or router failure starting mid-run kills the job; the
+		// scheduler requeues the submission with exponential backoff
+		if tf, failed := cfg.Faults.FirstFailure(j.Routers(topo), j.Start, j.End); failed {
+			if tf <= j.Start {
+				tf = j.Start + 60 // killed within the first scheduling tick
+			}
+			j.End = tf
+			j.State = StateNodeFail
+			if a.attempt < maxRequeues {
+				insert(arrival{t: tf + requeueBackoff(a.attempt), user: a.user, attempt: a.attempt + 1})
+			}
+		}
 		tl.Jobs = append(tl.Jobs, j)
 		running.push(j)
 	}

@@ -105,7 +105,8 @@ func Median(x []float64) float64 { return Quantile(x, 0.5) }
 
 // MAPE returns the mean absolute percentage error between predictions and
 // observations, in percent, as reported in Figures 8 and 10 of the paper.
-// Pairs whose observed value is zero are skipped.
+// Pairs whose observed value is zero, or where either side is NaN or Inf
+// (e.g. a missing-sample marker that leaked into a prediction), are skipped.
 func MAPE(pred, obs []float64) float64 {
 	if len(pred) != len(obs) {
 		panic("stats: MAPE length mismatch")
@@ -114,6 +115,9 @@ func MAPE(pred, obs []float64) float64 {
 	n := 0
 	for i, o := range obs {
 		if o == 0 {
+			continue
+		}
+		if math.IsNaN(o) || math.IsInf(o, 0) || math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
 			continue
 		}
 		s += math.Abs((pred[i] - o) / o)

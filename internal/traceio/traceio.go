@@ -5,13 +5,20 @@
 // previous sample, which compresses monotonically increasing hardware
 // counters by an order of magnitude compared to raw float64 dumps.
 //
-// The format:
+// The current format (version 2):
 //
-//	magic "DFLDMS1\n"
+//	magic "DFLDMS2\n"
 //	uvarint numSeries
 //	repeated samples:
 //	    uvarint dtMillis   (against the previous sample; first is absolute)
-//	    numSeries × varint delta of the quantized (rounded) value
+//	    flags byte         (bit 0: missing sample — sampler was down)
+//	    if not missing:
+//	        numSeries × varint delta of the quantized (rounded) value
+//
+// A missing sample carries only its timestamp: the monitor knew the wall
+// clock but lost the counter reads (a sampler dropout, §"Fault model" in
+// DESIGN.md). Readers surface it as a row of NaN plus the Missing flag.
+// Version-1 logs ("DFLDMS1\n", no flags byte) are still readable.
 //
 // A Writer and Reader pair round-trips any series whose values fit int64
 // after rounding; hardware counters do.
@@ -26,9 +33,23 @@ import (
 	"math"
 )
 
-const magic = "DFLDMS1\n"
+const (
+	magic   = "DFLDMS2\n"
+	magicV1 = "DFLDMS1\n"
 
-// Writer streams samples to an underlying writer.
+	// flagMissing marks a sample whose counter values were lost; all other
+	// flag bits are reserved and must be zero.
+	flagMissing = 1 << 0
+
+	// maxSeries bounds the header series count. A full Cori-scale machine
+	// is ~12k routers × 4 series ≈ 5·10⁴; anything near the cap is a
+	// corrupt or hostile header, and rejecting it early keeps Reader from
+	// allocating gigabytes off four bytes of input.
+	maxSeries = 1 << 20
+)
+
+// Writer streams samples to an underlying writer, always in version-2
+// format.
 type Writer struct {
 	w         *bufio.Writer
 	numSeries int
@@ -43,6 +64,9 @@ type Writer struct {
 func NewWriter(w io.Writer, numSeries int) (*Writer, error) {
 	if numSeries <= 0 {
 		return nil, fmt.Errorf("traceio: numSeries must be positive")
+	}
+	if numSeries > maxSeries {
+		return nil, fmt.Errorf("traceio: numSeries %d exceeds the format cap %d", numSeries, maxSeries)
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(magic); err != nil {
@@ -61,12 +85,9 @@ func NewWriter(w io.Writer, numSeries int) (*Writer, error) {
 	}, nil
 }
 
-// WriteSample appends one sample at time t (seconds). len(values) must be
-// numSeries. Timestamps must be non-decreasing.
-func (w *Writer) WriteSample(t float64, values []float64) error {
-	if len(values) != w.numSeries {
-		return fmt.Errorf("traceio: sample has %d series, want %d", len(values), w.numSeries)
-	}
+// writeStamp encodes the timestamp delta and flags byte shared by both
+// sample kinds.
+func (w *Writer) writeStamp(t float64, flags byte) error {
 	ms := uint64(math.Round(t * 1000))
 	var dt uint64
 	if w.started {
@@ -83,6 +104,24 @@ func (w *Writer) WriteSample(t float64, values []float64) error {
 	if _, err := w.w.Write(w.buf[:n]); err != nil {
 		return err
 	}
+	return w.w.WriteByte(flags)
+}
+
+// WriteSample appends one sample at time t (seconds). len(values) must be
+// numSeries and every value finite — a sampler outage is recorded with
+// WriteMissing, never as NaN values. Timestamps must be non-decreasing.
+func (w *Writer) WriteSample(t float64, values []float64) error {
+	if len(values) != w.numSeries {
+		return fmt.Errorf("traceio: sample has %d series, want %d", len(values), w.numSeries)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("traceio: series %d is %v at t=%v; record sampler outages with WriteMissing, not non-finite values", i, v, t)
+		}
+	}
+	if err := w.writeStamp(t, 0); err != nil {
+		return err
+	}
 	for i, v := range values {
 		q := int64(math.Round(v))
 		delta := q - w.prev[i]
@@ -95,16 +134,27 @@ func (w *Writer) WriteSample(t float64, values []float64) error {
 	return nil
 }
 
+// WriteMissing appends a missing-sample marker at time t: the sampler was
+// in a dropout window and recorded no counter values. The delta baseline is
+// unchanged, so the first healthy sample after the gap still round-trips.
+func (w *Writer) WriteMissing(t float64) error {
+	return w.writeStamp(t, flagMissing)
+}
+
 // Flush pushes buffered bytes to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader iterates a log produced by Writer.
+// Reader iterates a log produced by Writer. It reads both the current
+// version-2 format and legacy version-1 logs (which cannot contain missing
+// markers).
 type Reader struct {
 	r         *bufio.Reader
 	numSeries int
 	prev      []int64
 	prevMs    uint64
 	started   bool
+	v1        bool
+	missing   bool
 }
 
 // NewReader validates the header and returns a reader.
@@ -114,24 +164,35 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("traceio: reading header: %w", err)
 	}
-	if string(head) != magic {
-		return nil, errors.New("traceio: bad magic — not a DFLDMS1 log")
+	var v1 bool
+	switch string(head) {
+	case magic:
+	case magicV1:
+		v1 = true
+	default:
+		return nil, errors.New("traceio: bad magic — not a DFLDMS log")
 	}
 	ns, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("traceio: reading series count: %w", err)
 	}
-	if ns == 0 || ns > 1<<28 {
+	if ns == 0 || ns > maxSeries {
 		return nil, fmt.Errorf("traceio: implausible series count %d", ns)
 	}
-	return &Reader{r: br, numSeries: int(ns), prev: make([]int64, ns)}, nil
+	return &Reader{r: br, numSeries: int(ns), prev: make([]int64, ns), v1: v1}, nil
 }
 
 // NumSeries returns the number of parallel series in the log.
 func (r *Reader) NumSeries() int { return r.numSeries }
 
+// Missing reports whether the sample most recently returned by Next was a
+// missing-sample marker (its values are all NaN).
+func (r *Reader) Missing() bool { return r.missing }
+
 // Next returns the next sample, filling dst (allocated when nil) with the
-// reconstructed absolute values. Returns io.EOF cleanly at end of log.
+// reconstructed absolute values. For a missing-sample marker the values are
+// all NaN and Missing() reports true until the following Next call.
+// Returns io.EOF cleanly at end of log.
 func (r *Reader) Next(dst []float64) (t float64, values []float64, err error) {
 	dt, err := binary.ReadUvarint(r.r)
 	if err != nil {
@@ -146,11 +207,31 @@ func (r *Reader) Next(dst []float64) (t float64, values []float64, err error) {
 		r.prevMs = dt
 		r.started = true
 	}
+	r.missing = false
+	if !r.v1 {
+		flags, err := r.r.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("traceio: truncated sample: %w", err)
+		}
+		if flags&^flagMissing != 0 {
+			return 0, nil, fmt.Errorf("traceio: unknown sample flags %#x (corrupt log?)", flags)
+		}
+		r.missing = flags&flagMissing != 0
+	}
 	if dst == nil {
 		dst = make([]float64, r.numSeries)
 	}
 	if len(dst) != r.numSeries {
 		return 0, nil, fmt.Errorf("traceio: dst has %d series, want %d", len(dst), r.numSeries)
+	}
+	if r.missing {
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		return float64(r.prevMs) / 1000, dst, nil
 	}
 	for i := 0; i < r.numSeries; i++ {
 		delta, err := binary.ReadVarint(r.r)
@@ -167,7 +248,8 @@ func (r *Reader) Next(dst []float64) (t float64, values []float64, err error) {
 	return float64(r.prevMs) / 1000, dst, nil
 }
 
-// ReadAll drains the log, returning timestamps and samples.
+// ReadAll drains the log, returning timestamps and samples. Missing-sample
+// markers appear as all-NaN rows.
 func ReadAll(r io.Reader) (times []float64, samples [][]float64, err error) {
 	rd, err := NewReader(r)
 	if err != nil {
