@@ -5,7 +5,7 @@ CACHE ?= testdata/campaign.gob
 DAYS ?= 130
 SEED ?= 42
 
-.PHONY: all build test vet race verify bench campaign report plots csv clean
+.PHONY: all build test vet race verify bench bench-engine campaign report plots csv clean
 
 all: build vet test
 
@@ -28,6 +28,12 @@ verify: build vet test race
 # campaign (generated on first run, ~5 minutes).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Execution-engine benchmark: same campaign serial vs parallel, verifies
+# byte-identical output, writes BENCH_engine.json. Speedup tracks the
+# host's core count (a 1-CPU container reports ~1.0x by construction).
+bench-engine:
+	$(GO) run ./cmd/dfbench -days 30 -seed $(SEED) -workers 4 -out BENCH_engine.json
 
 # Simulate the four-month controlled-experiment campaign.
 campaign:

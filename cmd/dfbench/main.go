@@ -1,0 +1,132 @@
+// Command dfbench measures the execution engine: it runs the same campaign
+// serially and with a parallel worker pool, verifies the outputs are
+// byte-identical (the engine's core contract), and writes the timings as
+// JSON for the benchmark ledger.
+//
+//	dfbench [-days N] [-seed S] [-workers N] [-cori] [-out BENCH_engine.json]
+//
+// The speedup is bounded by the host: on a single-core container the
+// parallel run can be no faster than the serial one (the JSON records the
+// CPU count so readers can tell). On a multi-core host expect near-linear
+// scaling up to the worker count, since campaign runs are independent.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/topology"
+)
+
+type result struct {
+	Benchmark   string  `json:"benchmark"`
+	CPUs        int     `json:"cpus"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Machine     string  `json:"machine"`
+	Days        float64 `json:"days"`
+	Seed        int64   `json:"seed"`
+	Runs        int     `json:"runs"`
+	Workers     int     `json:"workers"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical"`
+	Hash        string  `json:"campaign_sha256"`
+}
+
+func main() {
+	days := flag.Float64("days", 10, "campaign length in days")
+	seed := flag.Int64("seed", 42, "campaign seed")
+	workers := flag.Int("workers", 4, "parallel worker count to compare against serial")
+	cori := flag.Bool("cori", false, "benchmark the full Cori machine instead of the small one")
+	out := flag.String("out", "BENCH_engine.json", "output JSON file")
+	flag.Parse()
+
+	cfg := cluster.Config{Days: *days, Seed: *seed}
+	machine := "small"
+	if !*cori {
+		cfg.Machine = topology.Small()
+	} else {
+		machine = "cori"
+	}
+
+	serialCamp, serialSec, err := timeCampaign(cfg, 1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "serial   (workers=1): %d runs in %.2fs\n", serialCamp.TotalRuns(), serialSec)
+
+	parCamp, parSec, err := timeCampaign(cfg, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "parallel (workers=%d): %d runs in %.2fs\n", *workers, parCamp.TotalRuns(), parSec)
+
+	h1, h2 := campaignHash(serialCamp), campaignHash(parCamp)
+	res := result{
+		Benchmark:   "campaign-engine",
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Machine:     machine,
+		Days:        *days,
+		Seed:        *seed,
+		Runs:        serialCamp.TotalRuns(),
+		Workers:     *workers,
+		SerialSec:   serialSec,
+		ParallelSec: parSec,
+		Speedup:     serialSec / parSec,
+		Identical:   h1 == h2,
+		Hash:        hex.EncodeToString(h1[:8]),
+	}
+	if !res.Identical {
+		fatal(fmt.Errorf("DETERMINISM VIOLATION: workers=1 and workers=%d campaigns differ", *workers))
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "speedup %.2fx on %d CPUs, outputs identical; wrote %s\n", res.Speedup, res.CPUs, *out)
+	os.Stdout.Write(blob)
+}
+
+func timeCampaign(cfg cluster.Config, workers int) (*dataset.Campaign, float64, error) {
+	cfg.Workers = workers
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	camp, err := c.RunCampaign()
+	if err != nil {
+		return nil, 0, err
+	}
+	return camp, time.Since(start).Seconds(), nil
+}
+
+func campaignHash(camp *dataset.Campaign) [32]byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(camp); err != nil {
+		fatal(err)
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+	os.Exit(1)
+}

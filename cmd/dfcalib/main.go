@@ -4,17 +4,21 @@
 // fraction. Use it to sanity-check simulator calibration against §III-B
 // before running the full evaluation.
 //
-//	dfcalib -days 15 -seed 42 [-small] [-cache FILE]
+//	dfcalib -days 15 -seed 42 [-small] [-cache FILE] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/core"
+	"dragonvar/internal/engine"
 	"dragonvar/internal/report"
 	"dragonvar/internal/stats"
 	"dragonvar/internal/topology"
@@ -25,9 +29,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "campaign seed")
 	small := flag.Bool("small", false, "use the reduced test machine")
 	cache := flag.String("cache", "", "optional campaign cache file")
+	workers := flag.Int("workers", 0,
+		"simulation worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
-	cfg := cluster.Config{Days: *days, Seed: *seed}
+	cfg := cluster.Config{Days: *days, Seed: *seed, Workers: *workers}
 	if *small {
 		cfg.Machine = topology.Small()
 	}
@@ -40,8 +46,13 @@ func main() {
 		}
 	}
 
+	// SIGINT cancels the campaign gracefully; completed runs are flushed to
+	// the cache (when one is configured) as a partial dataset
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: cfg, CachePath: *cache})
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: cfg, CachePath: *cache})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
 		os.Exit(1)

@@ -12,15 +12,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"dragonvar/internal/cluster"
+	"dragonvar/internal/engine"
 	"dragonvar/internal/topology"
 	"dragonvar/internal/traceio"
 )
@@ -54,7 +58,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] -out FILE
+  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] [-workers N] -out FILE
   dfldms summarize -in FILE [-top K]`)
 }
 
@@ -67,11 +71,13 @@ func cmdRecord(args []string) error {
 	interval := fs.Float64("interval", 60, "sampling interval, seconds")
 	faults := fs.String("faults", "", `fault spec, e.g. "dropout@3600-7200" (see DESIGN.md)`)
 	out := fs.String("out", "ldms.bin", "output log file")
+	workers := fs.Int("workers", 0,
+		"worker count for any campaign simulation on this cluster (0 = $"+engine.EnvWorkers+" or GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := cluster.Config{Days: *days, Seed: *seed, FaultSpec: *faults}
+	cfg := cluster.Config{Days: *days, Seed: *seed, FaultSpec: *faults, Workers: *workers}
 	if *small {
 		cfg.Machine = topology.Small()
 	}
@@ -95,13 +101,21 @@ func cmdRecord(args []string) error {
 	// record from the middle of the timeline (steady state)
 	t0 := c.Timeline.Horizon()/2 - *hours*1800
 	t1 := t0 + *hours*3600
+	// SIGINT stops the recorder at a sample boundary and flushes; the log
+	// on disk stays readable, just shorter than requested
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	n, err := c.RecordLDMS(w, t0, t1, *interval)
-	if err != nil {
+	n, err := c.RecordLDMSCtx(ctx, w, t0, t1, *interval)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		return err
 	}
 	if err := fh.Close(); err != nil {
 		return err
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted: flushed %d samples recorded so far\n", n)
 	}
 	info, err := os.Stat(*out)
 	if err != nil {

@@ -17,15 +17,18 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/core"
-	"dragonvar/internal/dataset"
+	"dragonvar/internal/engine"
 	"dragonvar/internal/experiments"
 	"dragonvar/internal/export"
 	"dragonvar/internal/topology"
@@ -36,18 +39,23 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// first SIGINT/SIGTERM cancels ctx for a graceful shutdown (in-flight
+	// campaign results are flushed as a partial cache); a second one kills
+	// the process the default way
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "campaign":
-		err = cmdCampaign(os.Args[2:])
+		err = cmdCampaign(ctx, os.Args[2:])
 	case "report":
-		err = cmdReport(os.Args[2:])
+		err = cmdReport(ctx, os.Args[2:])
 	case "census":
 		err = cmdCensus(os.Args[2:])
 	case "export":
-		err = cmdExport(os.Args[2:])
+		err = cmdExport(ctx, os.Args[2:])
 	case "plot":
-		err = cmdPlot(os.Args[2:])
+		err = cmdPlot(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -60,6 +68,9 @@ func main() {
 			os.Exit(0)
 		}
 		fmt.Fprintf(os.Stderr, "dfvar: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted, the shell convention
+		}
 		var ue usageError
 		if errors.As(err, &ue) {
 			os.Exit(2)
@@ -89,24 +100,28 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC]
-  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [artifact ...]
+  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N]
+  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [artifact ...]
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
   dfvar plot     [-cache FILE] [-days N] [-seed S] [-small] [-fast] -out DIR
 artifacts: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 all
 fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
-  link:ID@T0-T1[*FRAC] router:ID@T0-T1 drain:ROUTER@T0-T1 dropout@T0-T1 (comma-separated)`)
+  link:ID@T0-T1[*FRAC] router:ID@T0-T1 drain:ROUTER@T0-T1 dropout@T0-T1 (comma-separated)
+-workers 0 (the default) uses $DRAGONVAR_WORKERS, falling back to GOMAXPROCS;
+  any worker count produces byte-identical output. SIGINT cancels gracefully,
+  flushing completed campaign runs to the cache as a partial dataset.`)
 }
 
 // commonFlags defines the flags shared by campaign and report.
 type commonFlags struct {
-	days   float64
-	seed   int64
-	cache  string
-	small  bool
-	fast   bool
-	faults string
+	days    float64
+	seed    int64
+	cache   string
+	small   bool
+	fast    bool
+	faults  string
+	workers int
 }
 
 func addCommon(fs *flag.FlagSet, c *commonFlags) {
@@ -116,10 +131,12 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.BoolVar(&c.small, "small", false, "use the reduced test machine instead of Cori")
 	fs.BoolVar(&c.fast, "fast", false, "faster, less accurate ML settings")
 	fs.StringVar(&c.faults, "faults", "", `fault-injection spec, e.g. "links=2,routers=1,dropouts=2" (see DESIGN.md)`)
+	fs.IntVar(&c.workers, "workers", 0,
+		"simulation/analysis worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
 }
 
 func (c commonFlags) clusterConfig() cluster.Config {
-	cfg := cluster.Config{Days: c.days, Seed: c.seed, FaultSpec: c.faults}
+	cfg := cluster.Config{Days: c.days, Seed: c.seed, FaultSpec: c.faults, Workers: c.workers}
 	if c.small {
 		cfg.Machine = topology.Small()
 	}
@@ -134,7 +151,7 @@ func (c commonFlags) clusterConfig() cluster.Config {
 	return cfg
 }
 
-func cmdCampaign(args []string) error {
+func cmdCampaign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
@@ -143,7 +160,7 @@ func cmdCampaign(args []string) error {
 	}
 
 	start := time.Now()
-	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {
 		return err
 	}
@@ -181,12 +198,7 @@ func cmdCensus(args []string) error {
 	return nil
 }
 
-// cheapArtifacts are regenerated by default; the ML-heavy ones must be
-// requested explicitly (or via "all").
-var cheapArtifacts = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "table3"}
-var allArtifacts = append(append([]string{}, cheapArtifacts...), "fig9", "fig8", "fig10", "fig11", "fig12")
-
-func cmdReport(args []string) error {
+func cmdReport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
@@ -196,24 +208,17 @@ func cmdReport(args []string) error {
 
 	wanted := fs.Args()
 	if len(wanted) == 0 {
-		wanted = cheapArtifacts
+		wanted = experiments.CheapArtifacts()
 	} else if len(wanted) == 1 && wanted[0] == "all" {
-		wanted = allArtifacts
+		wanted = experiments.AllArtifacts()
 	}
 
-	needCluster := false
-	for _, w := range wanted {
-		if w == "fig2" || w == "fig12" {
-			needCluster = true
-		}
-	}
-
-	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {
 		return err
 	}
-	suite := &experiments.Suite{Camp: camp, Seed: c.seed, Fast: c.fast}
-	if needCluster {
+	suite := &experiments.Suite{Camp: camp, Seed: c.seed, Fast: c.fast, Workers: c.workers}
+	if experiments.NeedsCluster(wanted) {
 		fmt.Fprintln(os.Stderr, "rebuilding cluster state for fig2/fig12...")
 		cl, err := cluster.New(c.clusterConfig())
 		if err != nil {
@@ -222,61 +227,19 @@ func cmdReport(args []string) error {
 		suite.Clust = cl
 	}
 
-	for _, w := range wanted {
-		out, err := renderArtifact(suite, camp, w)
-		if err != nil {
-			return err
-		}
+	// independent artifacts render concurrently; output order (and bytes)
+	// match rendering them one at a time
+	outs, err := suite.All(ctx, wanted)
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
 		fmt.Println(out)
 	}
 	return nil
 }
 
-func renderArtifact(suite *experiments.Suite, camp *dataset.Campaign, name string) (string, error) {
-	switch name {
-	case "table1":
-		return suite.Table1(), nil
-	case "table2":
-		return suite.Table2(), nil
-	case "table3":
-		out, _, _ := suite.Table3()
-		return out, nil
-	case "fig1":
-		out, _ := suite.Figure1()
-		return out, nil
-	case "fig2":
-		return suite.Figure2(), nil
-	case "fig3":
-		out, _ := suite.Figure3()
-		return out, nil
-	case "fig4":
-		return suite.Figure4(), nil
-	case "fig5":
-		return suite.Figure5(), nil
-	case "fig7":
-		out, _ := suite.Figure7()
-		return out, nil
-	case "fig8":
-		out, _ := suite.Figure8()
-		return out, nil
-	case "fig9":
-		out, _ := suite.Figure9()
-		return out, nil
-	case "fig10":
-		out, _ := suite.Figure10()
-		return out, nil
-	case "fig11":
-		out, _ := suite.Figure11()
-		return out, nil
-	case "fig12":
-		out, _, err := suite.Figure12()
-		return out, err
-	default:
-		return "", fmt.Errorf("unknown artifact %q", name)
-	}
-}
-
-func cmdExport(args []string) error {
+func cmdExport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
@@ -284,7 +247,7 @@ func cmdExport(args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {
 		return err
 	}

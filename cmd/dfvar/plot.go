@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,7 +16,7 @@ import (
 )
 
 // cmdPlot renders figure SVGs from a cached campaign.
-func cmdPlot(args []string) error {
+func cmdPlot(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
@@ -25,14 +26,14 @@ func cmdPlot(args []string) error {
 		return err
 	}
 
-	camp, err := core.LoadOrGenerate(core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
-	suite := &experiments.Suite{Camp: camp, Seed: c.seed, Fast: c.fast}
+	suite := &experiments.Suite{Camp: camp, Seed: c.seed, Fast: c.fast, Workers: c.workers}
 
 	write := func(name, svg string) error {
 		path := filepath.Join(*out, name)

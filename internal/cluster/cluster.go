@@ -8,14 +8,17 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dragonvar/internal/apps"
 	"dragonvar/internal/counters"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/engine"
 	"dragonvar/internal/faults"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/netsim"
@@ -44,6 +47,11 @@ type Config struct {
 	// Empty means a perfect machine. The schedule is derived
 	// deterministically from Seed, so a faulted campaign reproduces.
 	FaultSpec string
+	// Workers is the number of runs simulated concurrently by RunCampaign
+	// (0 means engine.Workers: $DRAGONVAR_WORKERS or GOMAXPROCS). Every
+	// worker count produces byte-identical campaigns; Workers only changes
+	// wall-clock time.
+	Workers int
 	// Progress, when non-nil, receives (completed, total) after each run.
 	Progress func(done, total int)
 }
@@ -83,9 +91,8 @@ type Cluster struct {
 	// Faults is the campaign's fault schedule; nil for a perfect machine.
 	Faults *faults.Schedule
 
-	root       *rng.Stream
-	curEpoch   int                 // fault epoch currently applied to Net
-	sysRouters []topology.RouterID // scratch, reused per run
+	root     *rng.Stream
+	curEpoch int // fault epoch currently applied to Net
 }
 
 // New builds the machine, derives the fault schedule, and generates the
@@ -107,30 +114,62 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	root := rng.New(cfg.Seed)
 	net := netsim.New(topo, cfg.Net, root.Split("netsim"))
-	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users, Faults: sched},
+	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users, Faults: sched, Workers: cfg.Workers},
 		root.Split("timeline"))
 	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, Faults: sched, root: root, curEpoch: -1}, nil
 }
 
-// applyFaultsAt derates the network to the fault state at time t. Returns
-// true when the fault epoch changed (cached routes are then stale and the
-// caller must re-resolve).
-func (c *Cluster) applyFaultsAt(t float64) bool {
+// applyFaultsTo derates net to the fault state at time t, tracking the
+// currently applied epoch in *curEpoch. Returns true when the fault epoch
+// changed (cached routes are then stale and the caller must re-resolve).
+// The resulting network state depends only on t's epoch, never on the
+// sequence of epochs applied before — which is what lets independently
+// seeded per-worker networks visit runs in any order.
+func (c *Cluster) applyFaultsTo(net *netsim.Network, curEpoch *int, t float64) bool {
 	if c.Faults == nil {
 		return false
 	}
 	e := c.Faults.Epoch(t)
-	if e == c.curEpoch {
+	if e == *curEpoch {
 		return false
 	}
-	c.curEpoch = e
+	*curEpoch = e
 	v := c.Faults.ViewAt(t)
 	if v.Clean() {
-		c.Net.SetLinkHealth(nil)
+		net.SetLinkHealth(nil)
 	} else {
-		c.Net.SetLinkHealth(v.LinkFactor)
+		net.SetLinkHealth(v.LinkFactor)
 	}
 	return true
+}
+
+// applyFaultsAt derates the cluster's shared network (used by the LDMS
+// replay) to the fault state at time t.
+func (c *Cluster) applyFaultsAt(t float64) bool {
+	return c.applyFaultsTo(c.Net, &c.curEpoch, t)
+}
+
+// simWorker is the per-worker simulation context of a parallel campaign.
+// Each worker owns a private Network split from the same root with the same
+// label, so all workers' networks are identically seeded; combined with
+// per-pair path sampling (netsim) and a counter-board reset before every
+// run, a run's result depends only on its plan — not on which worker
+// simulates it or what that worker simulated before.
+type simWorker struct {
+	c          *Cluster
+	net        *netsim.Network
+	curEpoch   int
+	sysRouters []topology.RouterID // scratch, reused per run
+	before     *counters.Board     // scratch snapshot, reused per step
+}
+
+func (c *Cluster) newSimWorker() *simWorker {
+	return &simWorker{
+		c:        c,
+		net:      netsim.New(c.Topo, c.cfg.Net, c.root.Split("netsim")),
+		curEpoch: -1,
+		before:   counters.NewBoard(c.Topo.Cfg.NumRouters()),
+	}
 }
 
 // drainError aborts a simulated run whose nodes were lost to a drain,
@@ -163,6 +202,22 @@ type plan struct {
 // RunCampaign schedules and simulates the full controlled experiment
 // campaign and returns the datasets.
 func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
+	return c.RunCampaignCtx(context.Background())
+}
+
+// RunCampaignCtx is RunCampaign with cancellation: runs are sharded across
+// cfg.Workers simulation workers, and on context cancellation the campaign
+// returns early with Partial set alongside ctx's error, carrying every run
+// that completed before the cancel (so callers can flush a usable partial
+// dataset instead of losing the work).
+//
+// Execution proceeds in rounds: all pending runs are simulated in parallel
+// against a frozen plan list, then — serially, in plan order — runs that
+// lost their nodes to a fault are requeued with a deterministic backoff,
+// like slurm --requeue would, and the next round simulates only those.
+// Plans are never mutated while a round is in flight, so every worker count
+// produces byte-identical campaigns.
+func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error) {
 	cfg := c.cfg
 	plans, err := c.schedule()
 	if err != nil {
@@ -177,41 +232,99 @@ func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
 		camp.Datasets = append(camp.Datasets, ds)
 	}
 
-	for i := 0; i < len(plans); i++ {
-		p := plans[i]
-		run, err := c.simulate(p, plans, i)
-		var de drainError
-		if errors.As(err, &de) {
+	workers := engine.Workers(cfg.Workers)
+	sws := make([]*simWorker, workers)
+	results := make([]*dataset.Run, len(plans))
+	var mu sync.Mutex
+	done := 0
+	progress := func() {
+		if cfg.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		cfg.Progress(done, len(plans))
+		mu.Unlock()
+	}
+
+	// outcome of one simulated run in the current round
+	type outcome struct {
+		run     *dataset.Run
+		drainAt float64
+		drained bool
+	}
+
+	pending := make([]int, len(plans))
+	for i := range pending {
+		pending[i] = i
+	}
+	var runErr error
+	for len(pending) > 0 && runErr == nil {
+		outs := make([]outcome, len(pending))
+		roundErr := engine.Map(ctx, workers, len(pending), func(_ context.Context, wkr, k int) error {
+			if sws[wkr] == nil {
+				sws[wkr] = c.newSimWorker()
+			}
+			i := pending[k]
+			run, err := sws[wkr].simulate(plans[i], plans, i)
+			var de drainError
+			if errors.As(err, &de) {
+				outs[k] = outcome{drainAt: de.at, drained: true}
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			outs[k] = outcome{run: run}
+			progress()
+			return nil
+		})
+
+		// merge the round and decide requeues serially, in plan order
+		var next []int
+		for k, i := range pending {
+			o := outs[k]
+			if o.run != nil {
+				results[i] = o.run
+				continue
+			}
+			if roundErr != nil || !o.drained {
+				continue // cancelled before this run executed
+			}
 			// the run lost its nodes mid-flight; requeue the submission
 			// after a deterministic backoff, like slurm --requeue would
+			p := plans[i]
 			if p.requeues < requeueLimit {
 				p.requeues++
 				rs := c.root.Split(fmt.Sprintf("requeue-%d-%d", i, p.requeues))
 				est := p.estEnd - p.start
-				p.start = de.at + 900*math.Pow(2, float64(p.requeues-1))
+				p.start = o.drainAt + 900*math.Pow(2, float64(p.requeues-1))
 				p.estEnd = p.start + est
 				p.nodes = nil
 				if c.place(p, plans, i, rs) {
 					p.footprint = c.planFootprint(p)
-					i-- // retry the same submission at its new slot
+					next = append(next, i) // retry at the new slot next round
 					continue
 				}
 			}
 			// gave up: the submission never completes and records no run
-			if cfg.Progress != nil {
-				cfg.Progress(i+1, len(plans))
-			}
+			progress()
+		}
+		pending = next
+		runErr = roundErr
+	}
+
+	for i, run := range results {
+		if run == nil {
 			continue
 		}
-		if err != nil {
-			return nil, err
-		}
 		run.RunID = i
-		run.Requeues = p.requeues
-		byName[p.model.Name()].Runs = append(byName[p.model.Name()].Runs, run)
-		if cfg.Progress != nil {
-			cfg.Progress(i+1, len(plans))
-		}
+		run.Requeues = plans[i].requeues
+		byName[plans[i].model.Name()].Runs = append(byName[plans[i].model.Name()].Runs, run)
+	}
+	if runErr != nil {
+		camp.Partial = true
+		return camp, runErr
 	}
 	return camp, nil
 }
@@ -326,9 +439,13 @@ func (c *Cluster) planFootprint(p *plan) *netsim.LoadSet {
 	return c.Net.BuildLoadSet(flows)
 }
 
-// simulate runs one controlled experiment step by step.
-func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, error) {
+// simulate runs one controlled experiment step by step on this worker's
+// private network. The board is reset first so the run's counter deltas are
+// exact regardless of what the worker simulated before.
+func (w *simWorker) simulate(p *plan, plans []*plan, self int) (*dataset.Run, error) {
+	c := w.c
 	cfg := c.cfg
+	w.net.Board.Reset()
 	runStream := c.root.Split(fmt.Sprintf("run-%d", self))
 	inst, err := p.model.Instantiate(c.Topo, p.nodes, runStream.Split("inst"))
 	if err != nil {
@@ -350,10 +467,10 @@ func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, erro
 	for _, r := range mine {
 		mineSet[r] = true
 	}
-	c.sysRouters = c.sysRouters[:0]
+	w.sysRouters = w.sysRouters[:0]
 	for r := 0; r < c.Topo.Cfg.NumRouters(); r++ {
 		if !mineSet[topology.RouterID(r)] {
-			c.sysRouters = append(c.sysRouters, topology.RouterID(r))
+			w.sysRouters = append(w.sysRouters, topology.RouterID(r))
 		}
 	}
 	ioRouters := c.Topo.IORouters()
@@ -372,12 +489,12 @@ func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, erro
 	t := p.start
 	var flows []netsim.Flow
 	var scaled []netsim.ScaledLoad
-	before := counters.NewBoard(c.Topo.Cfg.NumRouters())
+	before := w.before
 	// the flow pair list is fixed for the whole run; resolve routes once
 	// per fault epoch (link failures invalidate cached candidate paths)
-	c.applyFaultsAt(t)
+	c.applyFaultsTo(w.net, &w.curEpoch, t)
 	flows = inst.StepFlows(0, flows[:0])
-	routed, err := c.Net.ResolveHealthy(flows)
+	routed, err := w.net.ResolveHealthy(flows)
 	if err != nil {
 		// our routers are partitioned off; the job cannot start here
 		return nil, drainError{at: t}
@@ -389,10 +506,10 @@ func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, erro
 			if tf, failed := c.Faults.FirstFailure(mine, t, t+dur); failed {
 				return nil, drainError{at: tf}
 			}
-			if c.applyFaultsAt(t) {
+			if c.applyFaultsTo(w.net, &w.curEpoch, t) {
 				// the pair list is identical across steps, so the stale
 				// flows slice still has the right endpoints to re-resolve
-				if routed, err = c.Net.ResolveHealthy(flows); err != nil {
+				if routed, err = w.net.ResolveHealthy(flows); err != nil {
 					return nil, drainError{at: t}
 				}
 			}
@@ -413,29 +530,29 @@ func (c *Cluster) simulate(p *plan, plans []*plan, self int) (*dataset.Run, erro
 			}
 		}
 
-		c.Net.Board.SnapshotInto(before)
-		res := c.Net.RunRoundRouted(flows, routed, scaled, dur)
+		w.net.Board.SnapshotInto(before)
+		res := w.net.RunRoundRouted(flows, routed, scaled, dur)
 
 		// volume-weighted slowdown over our flows
-		var wsum, w float64
+		var wsum, wt float64
 		for i, f := range flows {
 			wsum += res.Slowdown[i] * f.Flits
-			w += f.Flits
+			wt += f.Flits
 		}
 		slowdown := 1.0
-		if w > 0 {
-			slowdown = wsum / w
+		if wt > 0 {
+			slowdown = wsum / wt
 		}
 		stepRes := inst.StepTime(step, slowdown, runStream)
 
 		// record observations with measurement noise
-		delta := c.Net.Board.DeltaSum(before, mine)
+		delta := w.net.Board.DeltaSum(before, mine)
 		var rec [counters.NumJob]float64
 		for ci := 0; ci < counters.NumJob; ci++ {
 			rec[ci] = delta[ci] * (1 + cfg.CounterNoise*noise.NormFloat64())
 		}
-		io := c.Net.Board.LDMSSample(before, ioRouters)
-		sys := c.Net.Board.LDMSSample(before, c.sysRouters)
+		io := w.net.Board.LDMSSample(before, ioRouters)
+		sys := w.net.Board.LDMSSample(before, w.sysRouters)
 		for i := range io {
 			io[i] *= 1 + cfg.CounterNoise*noise.NormFloat64()
 			sys[i] *= 1 + cfg.CounterNoise*noise.NormFloat64()
@@ -534,7 +651,9 @@ func (c *Cluster) SimulateAt(model *apps.Model, steps int, start, compactLo, com
 	if p.nodes == nil {
 		return nil, fmt.Errorf("cluster: no room for %s near t=%v", job.Name(), start)
 	}
-	return c.simulate(p, nil, -1)
+	// a fresh worker context keeps one-off simulations independent of (and
+	// safe to run concurrently with) any other simulation on this cluster
+	return c.newSimWorker().simulate(p, nil, -1)
 }
 
 // SimulateLongRun simulates a single long-running job of the given model

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"testing"
+
+	"dragonvar/internal/dataset"
+)
+
+// campaignHash gob-encodes a campaign and hashes the bytes. Campaign holds
+// no maps, so the encoding is deterministic and a hash match means the two
+// campaigns are byte-identical.
+func campaignHash(t *testing.T, camp *dataset.Campaign) [32]byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(camp); err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+func campaignAtWorkers(t *testing.T, cfg Config, workers int) *dataset.Campaign {
+	t.Helper()
+	cfg.Workers = workers
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := c.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
+// TestCampaignIdenticalAcrossWorkerCounts is the engine's core contract:
+// the parallel campaign is byte-identical to the serial one, on both a
+// clean machine and a faulted one (where mid-campaign requeues and
+// topology rewrites make worker interleaving most dangerous).
+func TestCampaignIdenticalAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", tinyConfig(41)},
+		{"faulted", faultyConfig(t, 41)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := campaignHash(t, campaignAtWorkers(t, tc.cfg, 1))
+			for _, workers := range []int{2, 4} {
+				if got := campaignHash(t, campaignAtWorkers(t, tc.cfg, workers)); got != serial {
+					t.Fatalf("workers=%d campaign differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignIgnoresWorkersEnv pins down flag/env precedence: an explicit
+// Workers count wins, and the env-var path still yields identical results.
+func TestCampaignWorkersEnvIdentical(t *testing.T) {
+	serial := campaignHash(t, campaignAtWorkers(t, tinyConfig(43), 1))
+	t.Setenv("DRAGONVAR_WORKERS", "3")
+	if got := campaignHash(t, campaignAtWorkers(t, tinyConfig(43), 0)); got != serial {
+		t.Fatal("env-selected worker count changed the campaign")
+	}
+}

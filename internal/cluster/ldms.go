@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"dragonvar/internal/counters"
@@ -31,6 +32,14 @@ const LDMSSeriesPerRouter = len(ldmsSources)
 // sampler-dropout windows a missing-sample marker is written instead of
 // counter values (the hardware keeps counting; only the reads are lost).
 func (c *Cluster) RecordLDMS(w *traceio.Writer, t0, t1, interval float64) (int, error) {
+	return c.RecordLDMSCtx(context.Background(), w, t0, t1, interval)
+}
+
+// RecordLDMSCtx is RecordLDMS with cancellation: on context cancellation the
+// recorder stops at a sample boundary, flushes what it has written so far
+// (the log stays readable), and returns the sample count alongside ctx's
+// error — a partial recording, never a truncated one.
+func (c *Cluster) RecordLDMSCtx(ctx context.Context, w *traceio.Writer, t0, t1, interval float64) (int, error) {
 	if interval <= 0 {
 		return 0, fmt.Errorf("cluster: non-positive sampling interval")
 	}
@@ -44,6 +53,12 @@ func (c *Cluster) RecordLDMS(w *traceio.Writer, t0, t1, interval float64) (int, 
 	jobs := c.Timeline.Overlapping(t0, t1)
 	var scaled []netsim.ScaledLoad
 	for t := t0; t < t1; t += interval {
+		if err := ctx.Err(); err != nil {
+			if ferr := w.Flush(); ferr != nil {
+				return samples, ferr
+			}
+			return samples, err
+		}
 		scaled = scaled[:0]
 		for _, j := range jobs {
 			if j.Overlaps(t, t+interval) {

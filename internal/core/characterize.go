@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -50,26 +51,48 @@ type CampaignConfig struct {
 // LoadOrGenerate returns the campaign from the cache when present (and
 // matching seed/days), generating and caching it otherwise.
 func LoadOrGenerate(cfg CampaignConfig) (*dataset.Campaign, error) {
+	return LoadOrGenerateCtx(context.Background(), cfg)
+}
+
+// LoadOrGenerateCtx is LoadOrGenerate with cancellation. A cached campaign
+// marked Partial never satisfies the lookup (it is regenerated in full).
+// When generation is interrupted, the completed runs are still flushed to
+// the cache as a Partial campaign — resuming costs a regeneration, but an
+// inspectable dataset beats losing hours of simulation — and the partial
+// campaign is returned alongside ctx's error.
+func LoadOrGenerateCtx(ctx context.Context, cfg CampaignConfig) (*dataset.Campaign, error) {
 	if cfg.Cluster.Days <= 0 {
 		cfg.Cluster.Days = 130 // keep the cache check consistent with cluster defaults
 	}
 	if cfg.CachePath != "" {
 		if camp, err := dataset.Load(cfg.CachePath); err == nil {
-			if camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days &&
+			if !camp.Partial && camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days &&
 				camp.Faults == cfg.Cluster.FaultSpec {
 				return camp, nil
 			}
-			fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v faults=%q; regenerating\n",
-				cfg.CachePath, camp.Seed, camp.Days, camp.Faults)
+			if camp.Partial {
+				fmt.Fprintf(os.Stderr, "core: cache %s is a partial campaign; regenerating\n", cfg.CachePath)
+			} else {
+				fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v faults=%q; regenerating\n",
+					cfg.CachePath, camp.Seed, camp.Days, camp.Faults)
+			}
 		}
 	}
 	c, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
 	}
-	camp, err := c.RunCampaign()
+	camp, err := c.RunCampaignCtx(ctx)
 	if err != nil {
-		return nil, err
+		if camp != nil && camp.Partial && cfg.CachePath != "" && camp.TotalRuns() > 0 {
+			if serr := camp.Save(cfg.CachePath); serr != nil {
+				fmt.Fprintf(os.Stderr, "core: could not flush partial campaign: %v\n", serr)
+			} else {
+				fmt.Fprintf(os.Stderr, "core: interrupted; flushed partial campaign (%d runs) to %s\n",
+					camp.TotalRuns(), cfg.CachePath)
+			}
+		}
+		return camp, err
 	}
 	if cfg.CachePath != "" {
 		if err := camp.Save(cfg.CachePath); err != nil {

@@ -21,6 +21,9 @@ type DeviationOptions struct {
 	// GBR overrides the boosted-model hyperparameters; zero value uses
 	// defaults tuned for the campaign datasets.
 	GBR gbr.Options
+	// Workers is the number of RFE folds run concurrently (0 means
+	// engine.Workers); passed through to rfe.Options.
+	Workers int
 }
 
 func (o DeviationOptions) withDefaults() DeviationOptions {
@@ -89,7 +92,7 @@ func AnalyzeDeviation(ds *dataset.Dataset, opt DeviationOptions, seed int64) Dev
 		ys[k] = y[i]
 	}
 
-	res := rfe.Run(xs, ys, rfe.Options{Folds: opt.Folds, GBR: opt.GBR}, s.Split("rfe"))
+	res := rfe.Run(xs, ys, rfe.Options{Folds: opt.Folds, GBR: opt.GBR, Workers: opt.Workers}, s.Split("rfe"))
 
 	// MAPE on reconstructed absolute step times: prediction = deviation
 	// prediction + the step's mean trend

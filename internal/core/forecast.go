@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dragonvar/internal/counters"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/engine"
 	"dragonvar/internal/nn"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/stats"
@@ -31,6 +33,10 @@ type ForecastOptions struct {
 	// dataset.GapImpute (default) interpolates, dataset.GapSkip drops
 	// affected windows.
 	Gaps dataset.GapPolicy
+	// Workers is the number of CV folds trained concurrently (0 means
+	// engine.Workers). Fold results merge in fold order, so the reported
+	// MAPE is identical at every worker count.
+	Workers int
 }
 
 func (o ForecastOptions) withDefaults() ForecastOptions {
@@ -90,23 +96,37 @@ func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed 
 		}
 	}
 
+	// train the folds concurrently; each fold's stream is split from the
+	// parent by fold index, and MAPEs are summed in fold order afterwards,
+	// so the result is identical at every worker count
+	type foldMAPE struct {
+		mape float64
+		ok   bool
+	}
+	splits := dataset.KFoldSplits(len(runIdxs), opt.Folds, s.Split("folds"))
+	out, _ := engine.MapOrdered(context.Background(), opt.Workers, len(splits),
+		func(_ context.Context, fold int) (foldMAPE, error) {
+			var trainSamples, testSamples []nn.Sample
+			for _, i := range splits[fold].Train {
+				trainSamples = append(trainSamples, byRun[runIdxs[i]]...)
+			}
+			for _, i := range splits[fold].Test {
+				testSamples = append(testSamples, byRun[runIdxs[i]]...)
+			}
+			if len(trainSamples) == 0 || len(testSamples) == 0 {
+				return foldMAPE{}, nil
+			}
+			model := nn.Train(trainSamples, opt.NN, s.Split(fmt.Sprintf("fold-%d", fold)))
+			return foldMAPE{mape: model.MAPE(testSamples), ok: true}, nil
+		})
 	var mapeSum float64
 	var folds int
-	dataset.KFold(len(runIdxs), opt.Folds, s.Split("folds"), func(fold int, train, test []int) {
-		var trainSamples, testSamples []nn.Sample
-		for _, i := range train {
-			trainSamples = append(trainSamples, byRun[runIdxs[i]]...)
+	for _, f := range out {
+		if f.ok {
+			mapeSum += f.mape
+			folds++
 		}
-		for _, i := range test {
-			testSamples = append(testSamples, byRun[runIdxs[i]]...)
-		}
-		if len(trainSamples) == 0 || len(testSamples) == 0 {
-			return
-		}
-		model := nn.Train(trainSamples, opt.NN, s.Split(fmt.Sprintf("fold-%d", fold)))
-		mapeSum += model.MAPE(testSamples)
-		folds++
-	})
+	}
 	res := ForecastResult{Dataset: ds.Name, Spec: spec, Windows: len(windows),
 		GapFraction: ds.GapFraction()}
 	if folds > 0 {

@@ -120,6 +120,17 @@ func NewBoard(n int) *Board {
 	return &Board{PerRouter: make([]RouterCounters, n)}
 }
 
+// Reset zeroes every counter, as if the routers had just booted. The
+// campaign resets the board before each simulated run: deltas of cumulative
+// floats are not exact ((X+a)-X ≠ a in floating point), so starting every
+// run from zero is what makes its recorded deltas independent of whichever
+// runs the same Network simulated before it.
+func (b *Board) Reset() {
+	for i := range b.PerRouter {
+		b.PerRouter[i] = RouterCounters{}
+	}
+}
+
 // Add accumulates v into counter c of router r.
 func (b *Board) Add(r topology.RouterID, c Index, v float64) {
 	b.PerRouter[r][c] += v

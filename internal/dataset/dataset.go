@@ -10,6 +10,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"dragonvar/internal/counters"
@@ -459,9 +460,16 @@ func imputeRows(feats [][]float64, r *Run) {
 	}
 }
 
-// KFold partitions [0, n) into k shuffled folds; fold i is returned as
-// (test, train) index pairs via the callback.
-func KFold(n, k int, s *rng.Stream, fn func(fold int, train, test []int)) {
+// FoldSplit is one cross-validation fold's (train, test) index pair.
+type FoldSplit struct {
+	Train, Test []int
+}
+
+// KFoldSplits partitions [0, n) into k shuffled folds and returns every
+// fold's (train, test) split up front, so callers can fan the folds out to
+// parallel workers. The splits depend only on (n, k) and the stream, never
+// on the order folds are later processed in.
+func KFoldSplits(n, k int, s *rng.Stream) []FoldSplit {
 	if k < 2 {
 		k = 2
 	}
@@ -469,6 +477,7 @@ func KFold(n, k int, s *rng.Stream, fn func(fold int, train, test []int)) {
 		k = n
 	}
 	perm := s.Perm(n)
+	out := make([]FoldSplit, k)
 	for f := 0; f < k; f++ {
 		lo := f * n / k
 		hi := (f + 1) * n / k
@@ -481,7 +490,16 @@ func KFold(n, k int, s *rng.Stream, fn func(fold int, train, test []int)) {
 				train = append(train, p)
 			}
 		}
-		fn(f, train, test)
+		out[f] = FoldSplit{Train: train, Test: test}
+	}
+	return out
+}
+
+// KFold partitions [0, n) into k shuffled folds; fold i is returned as
+// (test, train) index pairs via the callback.
+func KFold(n, k int, s *rng.Stream, fn func(fold int, train, test []int)) {
+	for f, sp := range KFoldSplits(n, k, s) {
+		fn(f, sp.Train, sp.Test)
 	}
 }
 
@@ -496,6 +514,10 @@ type Campaign struct {
 	// different faults must not satisfy a request.
 	Faults   string
 	Datasets []*Dataset
+	// Partial marks a campaign cut short by cancellation: it carries only
+	// the runs that completed before the interrupt. Partial campaigns are
+	// saved (the work is not lost) but never satisfy a cache lookup.
+	Partial bool
 }
 
 // GapFraction is the fraction of observations missing across the whole
@@ -583,17 +605,31 @@ func (c *Campaign) TotalRuns() int {
 	return n
 }
 
-// Save writes the campaign to a gob file.
+// Save writes the campaign to a gob file atomically: the encoding goes to a
+// temp file in the target directory which is renamed into place only after
+// a successful write, so an interrupt (or a full disk) can never leave a
+// truncated campaign.gob behind for the next Load to choke on.
 func (c *Campaign) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("dataset: save: %w", err)
 	}
+	tmp := f.Name()
 	if err := gob.NewEncoder(f).Encode(c); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("dataset: encode: %w", err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return nil
 }
 
 // Load reads a campaign from a gob file.

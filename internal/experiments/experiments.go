@@ -23,6 +23,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,6 +32,7 @@ import (
 	"dragonvar/internal/core"
 	"dragonvar/internal/counters"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/engine"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/report"
 	"dragonvar/internal/stats"
@@ -45,20 +47,112 @@ type Suite struct {
 	// Fast trades accuracy for speed in the ML-heavy experiments
 	// (fewer folds, smaller models); used by tests.
 	Fast bool
+	// Workers bounds the concurrency of All and of the ML loops inside the
+	// per-artifact analyses (0 means engine.Workers). Rendered output is
+	// identical at every worker count.
+	Workers int
 }
 
 func (s *Suite) forecastOpts() core.ForecastOptions {
 	if s.Fast {
-		return core.ForecastOptions{Folds: 2}
+		return core.ForecastOptions{Folds: 2, Workers: s.Workers}
 	}
-	return core.ForecastOptions{Folds: 3}
+	return core.ForecastOptions{Folds: 3, Workers: s.Workers}
 }
 
 func (s *Suite) deviationOpts() core.DeviationOptions {
 	if s.Fast {
-		return core.DeviationOptions{Folds: 4, MaxSamples: 800}
+		return core.DeviationOptions{Folds: 4, MaxSamples: 800, Workers: s.Workers}
 	}
-	return core.DeviationOptions{Folds: 10, MaxSamples: 3000}
+	return core.DeviationOptions{Folds: 10, MaxSamples: 3000, Workers: s.Workers}
+}
+
+// cheapArtifacts are the artifact names rendered by default; the ML-heavy
+// ones must be requested explicitly (or via AllArtifacts).
+var cheapArtifacts = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "table3"}
+
+// heavyArtifacts run the ML pipelines (RFE, forecaster training, the long
+// re-simulated run of Figure 12).
+var heavyArtifacts = []string{"fig9", "fig8", "fig10", "fig11", "fig12"}
+
+// CheapArtifacts returns the default artifact list, in render order.
+func CheapArtifacts() []string {
+	return append([]string(nil), cheapArtifacts...)
+}
+
+// AllArtifacts returns every artifact name, in render order.
+func AllArtifacts() []string {
+	return append(CheapArtifacts(), heavyArtifacts...)
+}
+
+// NeedsCluster reports whether any of the named artifacts re-simulates and
+// therefore needs Suite.Clust (Figure 2 reads the topology, Figure 12 runs
+// the long MILC job).
+func NeedsCluster(names []string) bool {
+	for _, n := range names {
+		if n == "fig2" || n == "fig12" {
+			return true
+		}
+	}
+	return false
+}
+
+// Render regenerates one artifact by name ("table1" … "fig12") and returns
+// its text rendering. Unknown names are an error. Render is safe to call
+// concurrently: every analysis derives its randomness from (Seed, artifact)
+// and re-simulation runs on a private worker context.
+func (s *Suite) Render(name string) (string, error) {
+	switch name {
+	case "table1":
+		return s.Table1(), nil
+	case "table2":
+		return s.Table2(), nil
+	case "table3":
+		out, _, _ := s.Table3()
+		return out, nil
+	case "fig1":
+		out, _ := s.Figure1()
+		return out, nil
+	case "fig2":
+		return s.Figure2(), nil
+	case "fig3":
+		out, _ := s.Figure3()
+		return out, nil
+	case "fig4":
+		return s.Figure4(), nil
+	case "fig5":
+		return s.Figure5(), nil
+	case "fig7":
+		out, _ := s.Figure7()
+		return out, nil
+	case "fig8":
+		out, _ := s.Figure8()
+		return out, nil
+	case "fig9":
+		out, _ := s.Figure9()
+		return out, nil
+	case "fig10":
+		out, _ := s.Figure10()
+		return out, nil
+	case "fig11":
+		out, _ := s.Figure11()
+		return out, nil
+	case "fig12":
+		out, _, err := s.Figure12()
+		return out, err
+	default:
+		return "", fmt.Errorf("experiments: unknown artifact %q", name)
+	}
+}
+
+// All renders the named artifacts concurrently on the shared engine and
+// returns their texts in input order — the output is byte-identical to
+// rendering the names one by one.
+func (s *Suite) All(ctx context.Context, names []string) ([]string, error) {
+	return engine.MapOrdered(ctx, s.Workers, len(names),
+		func(_ context.Context, i int) (string, error) {
+			return s.Render(names[i])
+		})
 }
 
 // Figure1 renders the relative-performance-over-time series and returns

@@ -227,6 +227,12 @@ func pairKey(a, b topology.RouterID) uint64 {
 }
 
 // candidates returns the cached adaptive-routing candidate set for a pair.
+// Path sampling uses a per-pair stream split from n.s rather than n.s
+// itself, so the candidate set for a pair depends only on the network's
+// seed and the pair — never on which pairs were resolved before it. This
+// is what lets runs be simulated in any order (or sharded across workers,
+// each with an identically-seeded Network) with bit-identical results:
+// a cache hit and a recomputation always return the same paths.
 func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
 	key := pairKey(a, b)
 	if p, ok := n.pathCache[key]; ok {
@@ -236,7 +242,7 @@ func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
 	if !n.cfg.Adaptive {
 		opt = routing.CandidateOptions{MaxMinimal: 1, MaxValiant: 0}
 	}
-	p := n.eng.Candidates(a, b, opt, n.s)
+	p := n.eng.Candidates(a, b, opt, n.s.Split(fmt.Sprintf("pair-%d-%d", a, b)))
 	n.pathCache[key] = p
 	return p
 }

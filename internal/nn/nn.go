@@ -20,8 +20,11 @@
 package nn
 
 import (
+	"context"
+	"fmt"
 	"math"
 
+	"dragonvar/internal/engine"
 	"dragonvar/internal/linalg"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/stats"
@@ -502,32 +505,37 @@ func (f *Forecaster) AttentionWeights(steps [][]float64) []float64 {
 // PermutationImportance measures each feature column's contribution: the
 // increase in MAPE when that column is shuffled across samples (at every
 // window position). Larger is more important; floors at 0.
+//
+// Feature columns are scored concurrently; each column's shuffle uses its
+// own stream split from s by column index, so the scores are identical at
+// every worker count (inference is read-only on the trained model).
 func (f *Forecaster) PermutationImportance(samples []Sample, s *rng.Stream) []float64 {
 	base := f.MAPE(samples)
-	out := make([]float64, f.h)
-	perm := make([]int, len(samples))
-	for j := 0; j < f.h; j++ {
-		for i := range perm {
-			perm[i] = i
-		}
-		s.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
-		shuffled := make([]Sample, len(samples))
-		for i := range samples {
-			src := samples[perm[i]]
-			steps := make([][]float64, f.m)
-			for t := 0; t < f.m; t++ {
-				row := make([]float64, f.h)
-				copy(row, samples[i].Steps[t])
-				row[j] = src.Steps[t][j]
-				steps[t] = row
+	out, _ := engine.MapOrdered(context.Background(), 0, f.h,
+		func(_ context.Context, j int) (float64, error) {
+			perm := make([]int, len(samples))
+			for i := range perm {
+				perm[i] = i
 			}
-			shuffled[i] = Sample{Steps: steps, Target: samples[i].Target}
-		}
-		delta := f.MAPE(shuffled) - base
-		if delta < 0 {
-			delta = 0
-		}
-		out[j] = delta
-	}
+			cs := s.Split(fmt.Sprintf("feat-%d", j))
+			cs.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			shuffled := make([]Sample, len(samples))
+			for i := range samples {
+				src := samples[perm[i]]
+				steps := make([][]float64, f.m)
+				for t := 0; t < f.m; t++ {
+					row := make([]float64, f.h)
+					copy(row, samples[i].Steps[t])
+					row[j] = src.Steps[t][j]
+					steps[t] = row
+				}
+				shuffled[i] = Sample{Steps: steps, Target: samples[i].Target}
+			}
+			delta := f.MAPE(shuffled) - base
+			if delta < 0 {
+				delta = 0
+			}
+			return delta, nil
+		})
 	return out
 }

@@ -4,13 +4,14 @@
 // are scored by how often, across cross-validation folds, they belong to
 // the best-performing subset — the relevance scores of Figure 9.
 //
-// Folds run concurrently on a bounded worker pool.
+// Folds run concurrently on the shared execution engine; results are merged
+// in fold order, so the output is identical at every worker count.
 package rfe
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
+	"dragonvar/internal/engine"
 	"dragonvar/internal/gbr"
 	"dragonvar/internal/linalg"
 	"dragonvar/internal/rng"
@@ -20,15 +21,12 @@ import (
 type Options struct {
 	Folds   int // cross-validation folds; default 10 (the paper's setting)
 	GBR     gbr.Options
-	Workers int // concurrent folds; default GOMAXPROCS
+	Workers int // concurrent folds; default engine.Workers(0)
 }
 
 func (o Options) withDefaults() Options {
 	if o.Folds < 2 {
 		o.Folds = 10
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -44,6 +42,12 @@ type Result struct {
 	// OOFPred holds out-of-fold predictions of the full-feature model,
 	// aligned with the sample rows; used for the MAPE < 5% check of §V-B.
 	OOFPred []float64
+}
+
+// foldResult is the output of one fold, merged serially after the pool.
+type foldResult struct {
+	elim, best []int
+	fullPred   []float64
 }
 
 // Run performs cross-validated RFE on samples x (rows) and targets y.
@@ -65,17 +69,8 @@ func Run(x *linalg.Matrix, y []float64, opt Options, s *rng.Stream) *Result {
 		folds[f] = perm[lo:hi]
 	}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	var mu sync.Mutex
-
-	for f := 0; f < opt.Folds; f++ {
-		wg.Add(1)
-		go func(f int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
+	out, _ := engine.MapOrdered(context.Background(), opt.Workers, opt.Folds,
+		func(_ context.Context, f int) (foldResult, error) {
 			test := folds[f]
 			train := make([]int, 0, n-len(test))
 			for g := 0; g < opt.Folds; g++ {
@@ -84,22 +79,19 @@ func Run(x *linalg.Matrix, y []float64, opt Options, s *rng.Stream) *Result {
 				}
 			}
 			foldStream := s.Split("fold").Split(string(rune('a' + f)))
-
 			elim, best, fullPred := eliminate(x, y, train, test, opt.GBR, foldStream)
+			return foldResult{elim: elim, best: best, fullPred: fullPred}, nil
+		})
 
-			mu.Lock()
-			res.Elimination[f] = elim
-			for _, feat := range best {
-				res.Relevance[feat]++
-			}
-			for k, i := range test {
-				res.OOFPred[i] = fullPred[k]
-			}
-			mu.Unlock()
-		}(f)
+	for f, fr := range out {
+		res.Elimination[f] = fr.elim
+		for _, feat := range fr.best {
+			res.Relevance[feat]++
+		}
+		for k, i := range folds[f] {
+			res.OOFPred[i] = fr.fullPred[k]
+		}
 	}
-	wg.Wait()
-
 	for i := range res.Relevance {
 		res.Relevance[i] /= float64(opt.Folds)
 	}

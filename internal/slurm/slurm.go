@@ -14,10 +14,12 @@
 package slurm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"dragonvar/internal/engine"
 	"dragonvar/internal/faults"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/netsim"
@@ -326,6 +328,9 @@ type GenerateConfig struct {
 	// drain or fail mid-run (sacct state NODE_FAIL), and requeues them
 	// with bounded exponential backoff in campaign wall-clock time.
 	Faults *faults.Schedule
+	// Workers bounds the footprint-building worker pool (0 = automatic).
+	// The timeline is identical for any value.
+	Workers int
 }
 
 // Generate builds a background timeline: Poisson arrivals per user,
@@ -433,7 +438,6 @@ func Generate(net *netsim.Network, cfg GenerateConfig, s *rng.Stream) *Timeline 
 		// fault truncation below: the per-minute draw count then stays
 		// identical between a faulted campaign and its clean twin, so the
 		// shared stream never diverges before the first fault actually hits
-		j.buildFootprint(net)
 		j.buildIntensity(jobStream)
 		// a drain or router failure starting mid-run kills the job; the
 		// scheduler requeues the submission with exponential backoff
@@ -451,6 +455,15 @@ func Generate(net *netsim.Network, cfg GenerateConfig, s *rng.Stream) *Timeline 
 		running.push(j)
 	}
 	sort.Slice(tl.Jobs, func(i, j int) bool { return tl.Jobs[i].Start < tl.Jobs[j].Start })
+	// Footprints consume no randomness and depend only on each job's own
+	// nodes and workload, so they build in parallel after the (serial,
+	// stream-ordered) event loop. Each worker writes only its own job, and
+	// BuildLoadSet uses a private routing engine over the shared read-only
+	// topology.
+	engine.Map(context.Background(), cfg.Workers, len(tl.Jobs), func(_ context.Context, _, i int) error {
+		tl.Jobs[i].buildFootprint(net)
+		return nil
+	})
 	return tl
 }
 
