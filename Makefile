@@ -5,7 +5,7 @@ CACHE ?= testdata/campaign.gob
 DAYS ?= 130
 SEED ?= 42
 
-.PHONY: all build test vet race verify bench bench-engine campaign report plots csv clean
+.PHONY: all build test vet race lint-docs verify bench bench-engine campaign report plots csv clean
 
 all: build vet test
 
@@ -21,8 +21,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Documentation lint: every package has a godoc comment, intra-repo
+# markdown links resolve, and docs/OBSERVABILITY.md covers every
+# telemetry name. (Also part of plain `make test`; split out so doc-only
+# changes can be checked in isolation.)
+lint-docs:
+	$(GO) test -run 'TestPackageDocComments|TestMarkdownLinks|TestObservabilityDocCoverage' .
+
 # Tier-1 verification: everything the merge gate runs.
-verify: build vet test race
+verify: build vet lint-docs test race
 
 # Full benchmark harness: regenerates every table/figure from the cached
 # campaign (generated on first run, ~5 minutes).

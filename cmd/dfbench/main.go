@@ -3,7 +3,7 @@
 // byte-identical (the engine's core contract), and writes the timings as
 // JSON for the benchmark ledger.
 //
-//	dfbench [-days N] [-seed S] [-workers N] [-cori] [-out BENCH_engine.json]
+//	dfbench [-days N] [-seed S] [-workers N] [-cori] [-out BENCH_engine.json] [-telemetry FILE] [-pprof ADDR]
 //
 // The speedup is bounded by the host: on a single-core container the
 // parallel run can be no faster than the serial one (the JSON records the
@@ -25,6 +25,7 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
 
@@ -50,7 +51,26 @@ func main() {
 	workers := flag.Int("workers", 4, "parallel worker count to compare against serial")
 	cori := flag.Bool("cori", false, "benchmark the full Cori machine instead of the small one")
 	out := flag.String("out", "BENCH_engine.json", "output JSON file")
+	tmPath := flag.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	// enable before the clusters are built so their handles are live; the
+	// determinism check below then doubles as proof that telemetry is
+	// observation-only (identical hashes with instrumentation recording)
+	if *tmPath != "" || *pprofAddr != "" {
+		telemetry.Enable(telemetry.New())
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			fatal(err)
+		}
+	}
+	defer func() {
+		if err := telemetry.Flush(*tmPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+		}
+	}()
 
 	cfg := cluster.Config{Days: *days, Seed: *seed}
 	machine := "small"

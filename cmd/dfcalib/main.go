@@ -4,7 +4,7 @@
 // fraction. Use it to sanity-check simulator calibration against §III-B
 // before running the full evaluation.
 //
-//	dfcalib -days 15 -seed 42 [-small] [-cache FILE] [-workers N]
+//	dfcalib -days 15 -seed 42 [-small] [-cache FILE] [-workers N] [-telemetry FILE] [-pprof ADDR]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"dragonvar/internal/engine"
 	"dragonvar/internal/report"
 	"dragonvar/internal/stats"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
 
@@ -31,7 +32,27 @@ func main() {
 	cache := flag.String("cache", "", "optional campaign cache file")
 	workers := flag.Int("workers", 0,
 		"simulation worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
+	tmPath := flag.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	// telemetry must be live before cluster construction: instrumented
+	// components capture their metric handles when they are built
+	if *tmPath != "" || *pprofAddr != "" {
+		telemetry.Enable(telemetry.New())
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	flush := func() {
+		if err := telemetry.Flush(*tmPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
+		}
+	}
+	defer flush()
 
 	cfg := cluster.Config{Days: *days, Seed: *seed, Workers: *workers}
 	if *small {
@@ -55,6 +76,7 @@ func main() {
 	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: cfg, CachePath: *cache})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
+		flush() // os.Exit skips defers; the partial snapshot still lands
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaign ready in %v\n", time.Since(start).Round(time.Second))

@@ -25,6 +25,7 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/engine"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 	"dragonvar/internal/traceio"
 )
@@ -58,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] [-workers N] -out FILE
+  dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] -out FILE
   dfldms summarize -in FILE [-top K]`)
 }
 
@@ -73,9 +74,27 @@ func cmdRecord(args []string) error {
 	out := fs.String("out", "ldms.bin", "output log file")
 	workers := fs.Int("workers", 0,
 		"worker count for any campaign simulation on this cluster (0 = $"+engine.EnvWorkers+" or GOMAXPROCS)")
+	tmPath := fs.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// enable before cluster.New: instrumented components capture their
+	// metric handles at construction time
+	if *tmPath != "" || *pprofAddr != "" {
+		telemetry.Enable(telemetry.New())
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		if err := telemetry.Flush(*tmPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dfldms: %v\n", err)
+		}
+	}()
 
 	cfg := cluster.Config{Days: *days, Seed: *seed, FaultSpec: *faults, Workers: *workers}
 	if *small {

@@ -31,6 +31,7 @@ import (
 	"dragonvar/internal/engine"
 	"dragonvar/internal/experiments"
 	"dragonvar/internal/export"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
 
@@ -100,8 +101,8 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N]
-  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [artifact ...]
+  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR]
+  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [artifact ...]
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
   dfvar plot     [-cache FILE] [-days N] [-seed S] [-small] [-fast] -out DIR
@@ -110,18 +111,23 @@ fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
   link:ID@T0-T1[*FRAC] router:ID@T0-T1 drain:ROUTER@T0-T1 dropout@T0-T1 (comma-separated)
 -workers 0 (the default) uses $DRAGONVAR_WORKERS, falling back to GOMAXPROCS;
   any worker count produces byte-identical output. SIGINT cancels gracefully,
-  flushing completed campaign runs to the cache as a partial dataset.`)
+  flushing completed campaign runs to the cache as a partial dataset.
+-telemetry FILE writes a metrics + span-trace snapshot (docs/OBSERVABILITY.md)
+  on exit; -pprof ADDR serves net/http/pprof plus a live /telemetry endpoint.
+  Telemetry is observation-only: output bytes are identical with it on or off.`)
 }
 
 // commonFlags defines the flags shared by campaign and report.
 type commonFlags struct {
-	days    float64
-	seed    int64
-	cache   string
-	small   bool
-	fast    bool
-	faults  string
-	workers int
+	days      float64
+	seed      int64
+	cache     string
+	small     bool
+	fast      bool
+	faults    string
+	workers   int
+	telemetry string
+	pprof     string
 }
 
 func addCommon(fs *flag.FlagSet, c *commonFlags) {
@@ -133,6 +139,32 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.StringVar(&c.faults, "faults", "", `fault-injection spec, e.g. "links=2,routers=1,dropouts=2" (see DESIGN.md)`)
 	fs.IntVar(&c.workers, "workers", 0,
 		"simulation/analysis worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
+	fs.StringVar(&c.telemetry, "telemetry", "",
+		"write a telemetry snapshot (metrics + span trace, docs/OBSERVABILITY.md) to this JSON file on exit")
+	fs.StringVar(&c.pprof, "pprof", "",
+		"serve net/http/pprof and a live /telemetry endpoint on this address (e.g. localhost:6060)")
+}
+
+// startTelemetry installs the process-wide registry when -telemetry or
+// -pprof was given. It must run before any instrumented component is
+// constructed (handles are captured at construction time), and the returned
+// flush must be deferred so the snapshot is written on every exit path —
+// including the graceful-cancellation return after SIGINT.
+func (c commonFlags) startTelemetry() (flush func(), err error) {
+	if c.telemetry != "" || c.pprof != "" {
+		telemetry.Enable(telemetry.New())
+	}
+	if c.pprof != "" {
+		if err := telemetry.ServePprof(c.pprof); err != nil {
+			return nil, err
+		}
+	}
+	path := c.telemetry
+	return func() {
+		if err := telemetry.Flush(path); err != nil {
+			fmt.Fprintf(os.Stderr, "dfvar: %v\n", err)
+		}
+	}, nil
 }
 
 func (c commonFlags) clusterConfig() cluster.Config {
@@ -158,6 +190,11 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	flush, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	start := time.Now()
 	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
@@ -205,6 +242,11 @@ func cmdReport(ctx context.Context, args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	flush, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	wanted := fs.Args()
 	if len(wanted) == 0 {
@@ -247,6 +289,11 @@ func cmdExport(ctx context.Context, args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	flush, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
+	defer flush()
 	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {
 		return err

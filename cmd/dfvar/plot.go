@@ -25,6 +25,11 @@ func cmdPlot(ctx context.Context, args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	flush, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
 	if err != nil {

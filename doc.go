@@ -1,0 +1,35 @@
+// Package dragonvar is a simulation-backed reproduction of "The Case of
+// Performance Variability on Dragonfly-based Systems" (Bhatele et al.,
+// IPDPS 2020): a Cray XC-style dragonfly network simulator with Aries
+// hardware counters, application workload models, a production scheduler,
+// and the paper's analysis stack — mutual-information neighborhood
+// analysis, gradient-boosted deviation models with recursive feature
+// elimination, and an attention-based execution-time forecaster.
+//
+// This package is the public facade: it re-exports the user-facing types
+// of the internal packages. Typical use:
+//
+//	camp, err := dragonvar.GenerateCampaign(dragonvar.CampaignConfig{
+//	    Cluster:   dragonvar.ClusterConfig{Days: 30, Seed: 42},
+//	    CachePath: "campaign.gob",
+//	})
+//	res := dragonvar.AnalyzeDeviation(camp.Get("MILC-128"),
+//	    dragonvar.DeviationOptions{}, 42)
+//
+// See the examples/ directory for runnable programs.
+//
+// # Documentation map
+//
+//   - docs/ARCHITECTURE.md — package layering, campaign data flow, the
+//     determinism contract, and the fault-spec grammar.
+//   - DESIGN.md — modelling decisions and paper fidelity notes, section
+//     by section.
+//   - docs/OBSERVABILITY.md — every telemetry metric and span the system
+//     emits about itself, and how to read a -telemetry snapshot.
+//   - EXPERIMENTS.md — paper-versus-measured for every table and figure.
+//
+// Every package under internal/ carries its own doc comment; the
+// doc-lint test at the repository root (lint_docs_test.go) enforces that,
+// checks intra-repository markdown links, and keeps
+// docs/OBSERVABILITY.md in sync with the telemetry name registry.
+package dragonvar

@@ -1,23 +1,3 @@
-// Package dragonvar is a simulation-backed reproduction of "The Case of
-// Performance Variability on Dragonfly-based Systems" (Bhatele et al.,
-// IPDPS 2020): a Cray XC-style dragonfly network simulator with Aries
-// hardware counters, application workload models, a production scheduler,
-// and the paper's analysis stack — mutual-information neighborhood
-// analysis, gradient-boosted deviation models with recursive feature
-// elimination, and an attention-based execution-time forecaster.
-//
-// This package is the public facade: it re-exports the user-facing types
-// of the internal packages. Typical use:
-//
-//	camp, err := dragonvar.GenerateCampaign(dragonvar.CampaignConfig{
-//	    Cluster:   dragonvar.ClusterConfig{Days: 30, Seed: 42},
-//	    CachePath: "campaign.gob",
-//	})
-//	res := dragonvar.AnalyzeDeviation(camp.Get("MILC-128"),
-//	    dragonvar.DeviationOptions{}, 42)
-//
-// See the examples/ directory for runnable programs and DESIGN.md for the
-// paper-to-module mapping.
 package dragonvar
 
 import (

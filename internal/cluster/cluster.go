@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"dragonvar/internal/apps"
 	"dragonvar/internal/counters"
@@ -24,6 +25,7 @@ import (
 	"dragonvar/internal/netsim"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/slurm"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
 
@@ -93,6 +95,35 @@ type Cluster struct {
 
 	root     *rng.Stream
 	curEpoch int // fault epoch currently applied to Net
+
+	tm clusterMetrics
+}
+
+// clusterMetrics bundles the campaign driver's telemetry handles, captured
+// once in New. All handles are nil (no-op) when telemetry is disabled, and
+// observation-only either way: no simulation decision reads them.
+type clusterMetrics struct {
+	runs      *telemetry.Counter
+	drained   *telemetry.Counter
+	requeues  *telemetry.Counter
+	abandoned *telemetry.Counter
+	rounds    *telemetry.Counter
+	runSecs   *telemetry.Histogram
+	mergeSecs *telemetry.Histogram
+	ldms      *telemetry.Counter
+}
+
+func newClusterMetrics() clusterMetrics {
+	return clusterMetrics{
+		runs:      telemetry.C(telemetry.MClusterRuns),
+		drained:   telemetry.C(telemetry.MClusterDrained),
+		requeues:  telemetry.C(telemetry.MClusterRequeues),
+		abandoned: telemetry.C(telemetry.MClusterAbandoned),
+		rounds:    telemetry.C(telemetry.MClusterRounds),
+		runSecs:   telemetry.H(telemetry.MClusterRunSecs, telemetry.SecondsBuckets),
+		mergeSecs: telemetry.H(telemetry.MClusterMergeSecs, telemetry.SecondsBuckets),
+		ldms:      telemetry.C(telemetry.MLDMSSamples),
+	}
 }
 
 // New builds the machine, derives the fault schedule, and generates the
@@ -116,7 +147,8 @@ func New(cfg Config) (*Cluster, error) {
 	net := netsim.New(topo, cfg.Net, root.Split("netsim"))
 	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users, Faults: sched, Workers: cfg.Workers},
 		root.Split("timeline"))
-	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, Faults: sched, root: root, curEpoch: -1}, nil
+	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, Faults: sched, root: root, curEpoch: -1,
+		tm: newClusterMetrics()}, nil
 }
 
 // applyFaultsTo derates net to the fault state at time t, tracking the
@@ -219,7 +251,11 @@ func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
 // produces byte-identical campaigns.
 func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error) {
 	cfg := c.cfg
+	ctx, campSpan := telemetry.Start(ctx, telemetry.SpanCampaign)
+	defer campSpan.End()
+	_, schedSpan := telemetry.Start(ctx, telemetry.SpanCampaignSchedule)
 	plans, err := c.schedule()
+	schedSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -260,27 +296,34 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 	}
 	var runErr error
 	for len(pending) > 0 && runErr == nil {
+		_, roundSpan := telemetry.Start(ctx, telemetry.SpanCampaignRound)
+		c.tm.rounds.Add(1)
 		outs := make([]outcome, len(pending))
 		roundErr := engine.Map(ctx, workers, len(pending), func(_ context.Context, wkr, k int) error {
 			if sws[wkr] == nil {
 				sws[wkr] = c.newSimWorker()
 			}
 			i := pending[k]
+			simStart := time.Now()
 			run, err := sws[wkr].simulate(plans[i], plans, i)
+			c.tm.runSecs.ObserveSince(simStart)
 			var de drainError
 			if errors.As(err, &de) {
+				c.tm.drained.Add(1)
 				outs[k] = outcome{drainAt: de.at, drained: true}
 				return nil
 			}
 			if err != nil {
 				return err
 			}
+			c.tm.runs.Add(1)
 			outs[k] = outcome{run: run}
 			progress()
 			return nil
 		})
 
 		// merge the round and decide requeues serially, in plan order
+		mergeStart := time.Now()
 		var next []int
 		for k, i := range pending {
 			o := outs[k]
@@ -303,13 +346,17 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 				p.nodes = nil
 				if c.place(p, plans, i, rs) {
 					p.footprint = c.planFootprint(p)
+					c.tm.requeues.Add(1)
 					next = append(next, i) // retry at the new slot next round
 					continue
 				}
 			}
 			// gave up: the submission never completes and records no run
+			c.tm.abandoned.Add(1)
 			progress()
 		}
+		c.tm.mergeSecs.ObserveSince(mergeStart)
+		roundSpan.End()
 		pending = next
 		runErr = roundErr
 	}

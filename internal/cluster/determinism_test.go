@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/telemetry"
 )
 
 // campaignHash gob-encodes a campaign and hashes the bytes. Campaign holds
@@ -56,6 +57,56 @@ func TestCampaignIdenticalAcrossWorkerCounts(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCampaignIdenticalWithTelemetry enforces the observation-only
+// contract: a faulted parallel campaign recorded by a live telemetry
+// registry is byte-identical to the uninstrumented serial one, and the
+// registry actually observed the layers it claims to (engine shard
+// timings, routing-cache traffic, campaign counters) — a silent
+// no-handles run would pass the hash check while measuring nothing.
+func TestCampaignIdenticalWithTelemetry(t *testing.T) {
+	cfg := faultyConfig(t, 41)
+	telemetry.Disable()
+	baseline := campaignHash(t, campaignAtWorkers(t, cfg, 1))
+
+	r := telemetry.New()
+	telemetry.Enable(r)
+	defer telemetry.Disable()
+	instrumented := campaignHash(t, campaignAtWorkers(t, cfg, 4))
+	if instrumented != baseline {
+		t.Fatal("telemetry-on parallel campaign differs from telemetry-off serial campaign")
+	}
+
+	snap := r.Snapshot()
+	for _, name := range []string{
+		telemetry.MEngineMaps, telemetry.MClusterRuns, telemetry.MClusterRounds,
+		telemetry.MNetsimCacheMisses, telemetry.MNetsimRounds,
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0; instrumentation not recording", name)
+		}
+	}
+	for _, name := range []string{telemetry.MClusterRunSecs, telemetry.MEngineShardRun} {
+		if snap.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s empty; instrumentation not recording", name)
+		}
+	}
+	var sawCampaign, sawRound bool
+	for _, sp := range snap.Spans {
+		switch sp.Name {
+		case telemetry.SpanCampaign:
+			sawCampaign = true
+		case telemetry.SpanCampaignRound:
+			sawRound = true
+			if sp.Path != telemetry.SpanCampaign+"/"+telemetry.SpanCampaignRound {
+				t.Errorf("round span path = %q; not nested under the campaign", sp.Path)
+			}
+		}
+	}
+	if !sawCampaign || !sawRound {
+		t.Errorf("missing spans: campaign=%v round=%v", sawCampaign, sawRound)
 	}
 }
 

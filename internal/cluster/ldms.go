@@ -6,6 +6,7 @@ import (
 
 	"dragonvar/internal/counters"
 	"dragonvar/internal/netsim"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/traceio"
 )
 
@@ -46,9 +47,12 @@ func (c *Cluster) RecordLDMSCtx(ctx context.Context, w *traceio.Writer, t0, t1, 
 	if t1 <= t0 {
 		return 0, fmt.Errorf("cluster: empty recording window [%v, %v)", t0, t1)
 	}
+	_, span := telemetry.Start(ctx, telemetry.SpanLDMSRecord)
+	defer span.End()
 	nr := c.Topo.Cfg.NumRouters()
 	values := make([]float64, nr*LDMSSeriesPerRouter)
 	samples := 0
+	defer func() { c.tm.ldms.Add(int64(samples)) }()
 
 	jobs := c.Timeline.Overlapping(t0, t1)
 	var scaled []netsim.ScaledLoad

@@ -7,6 +7,7 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/telemetry"
 )
 
 // PerfPoint is one run of Figure 1: campaign day versus performance
@@ -68,6 +69,7 @@ func LoadOrGenerateCtx(ctx context.Context, cfg CampaignConfig) (*dataset.Campai
 		if camp, err := dataset.Load(cfg.CachePath); err == nil {
 			if !camp.Partial && camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days &&
 				camp.Faults == cfg.Cluster.FaultSpec {
+				telemetry.C(telemetry.MCacheHits).Inc()
 				return camp, nil
 			}
 			if camp.Partial {
@@ -78,6 +80,7 @@ func LoadOrGenerateCtx(ctx context.Context, cfg CampaignConfig) (*dataset.Campai
 			}
 		}
 	}
+	telemetry.C(telemetry.MCacheMisses).Inc()
 	c, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err

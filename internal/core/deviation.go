@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dragonvar/internal/counters"
 	"dragonvar/internal/dataset"
 	"dragonvar/internal/gbr"
@@ -8,6 +10,7 @@ import (
 	"dragonvar/internal/rfe"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/stats"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/tree"
 )
 
@@ -57,6 +60,8 @@ type DeviationResult struct {
 
 // AnalyzeDeviation runs the GBR + RFE pipeline on one dataset.
 func AnalyzeDeviation(ds *dataset.Dataset, opt DeviationOptions, seed int64) DeviationResult {
+	_, span := telemetry.Start(context.Background(), telemetry.SpanMLDeviation)
+	defer span.End()
 	opt = opt.withDefaults()
 	names := make([]string, counters.NumJob)
 	for i := 0; i < counters.NumJob; i++ {

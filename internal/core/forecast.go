@@ -10,6 +10,7 @@ import (
 	"dragonvar/internal/nn"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/stats"
+	"dragonvar/internal/telemetry"
 )
 
 // ForecastSpec names one forecasting experiment: predict the total time of
@@ -73,6 +74,8 @@ type ForecastResult struct {
 // cross-validation over runs: windows of held-out runs are never seen in
 // training, mirroring the paper's splits.
 func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) ForecastResult {
+	_, span := telemetry.Start(context.Background(), telemetry.SpanMLForecast)
+	defer span.End()
 	opt = opt.withDefaults()
 	s := rng.NewLabeled(seed, "forecast-"+ds.Name+"-"+spec.String())
 	windows := ds.BuildWindowsGap(spec.Features, spec.M, spec.K, opt.Gaps)
@@ -139,6 +142,8 @@ func Forecast(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed 
 // permutation importances on the held-out quarter — one group of bars of
 // Figure 11. The returned names parallel the importance values.
 func ForecastImportances(ds *dataset.Dataset, spec ForecastSpec, opt ForecastOptions, seed int64) (names []string, importance []float64) {
+	_, span := telemetry.Start(context.Background(), telemetry.SpanMLImportances)
+	defer span.End()
 	opt = opt.withDefaults()
 	s := rng.NewLabeled(seed, "fimp-"+ds.Name+"-"+spec.String())
 	windows := ds.BuildWindowsGap(spec.Features, spec.M, spec.K, opt.Gaps)
@@ -180,6 +185,8 @@ type SegmentForecast struct {
 // long run's data) and predicts the long run segment by segment: each
 // segment of spec.K steps is predicted from the spec.M steps before it.
 func ForecastLongRun(trainDS *dataset.Dataset, longRun *dataset.Run, spec ForecastSpec, opt ForecastOptions, seed int64) []SegmentForecast {
+	_, span := telemetry.Start(context.Background(), telemetry.SpanMLForecastLong)
+	defer span.End()
 	opt = opt.withDefaults()
 	s := rng.NewLabeled(seed, "flong-"+trainDS.Name)
 	windows := trainDS.BuildWindowsGap(spec.Features, spec.M, spec.K, opt.Gaps)

@@ -9,14 +9,17 @@ package dataset
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"dragonvar/internal/counters"
 	"dragonvar/internal/linalg"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/rng"
+	"dragonvar/internal/telemetry"
 )
 
 // NeighborJob summarizes one other user's presence during a run.
@@ -610,13 +613,16 @@ func (c *Campaign) TotalRuns() int {
 // a successful write, so an interrupt (or a full disk) can never leave a
 // truncated campaign.gob behind for the next Load to choke on.
 func (c *Campaign) Save(path string) error {
+	start := time.Now()
+	defer telemetry.H(telemetry.MCacheSaveSecs, telemetry.SecondsBuckets).ObserveSince(start)
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("dataset: save: %w", err)
 	}
 	tmp := f.Name()
-	if err := gob.NewEncoder(f).Encode(c); err != nil {
+	cw := &countingWriter{w: f}
+	if err := gob.NewEncoder(cw).Encode(c); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("dataset: encode: %w", err)
@@ -629,22 +635,51 @@ func (c *Campaign) Save(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("dataset: save: %w", err)
 	}
+	telemetry.C(telemetry.MCacheWriteBytes).Add(cw.n)
 	return nil
 }
 
 // Load reads a campaign from a gob file.
 func Load(path string) (*Campaign, error) {
+	start := time.Now()
+	defer telemetry.H(telemetry.MCacheLoadSecs, telemetry.SecondsBuckets).ObserveSince(start)
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: load: %w", err)
 	}
 	defer f.Close()
 	var c Campaign
-	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+	cr := &countingReader{r: f}
+	if err := gob.NewDecoder(cr).Decode(&c); err != nil {
 		return nil, fmt.Errorf("dataset: decode %s: %w (stale or corrupt campaign cache; delete it and regenerate)", path, err)
 	}
+	telemetry.C(telemetry.MCacheReadBytes).Add(cr.n)
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("dataset: validate %s: %w (stale or corrupt campaign cache; delete it and regenerate)", path, err)
 	}
 	return &c, nil
+}
+
+// countingWriter / countingReader tally gob traffic for the cache byte
+// counters without buffering anything.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }

@@ -29,8 +29,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dragonvar/internal/rng"
+	"dragonvar/internal/telemetry"
 )
 
 // EnvWorkers is the environment variable consulted when the caller does not
@@ -69,6 +71,25 @@ func Map(ctx context.Context, workers, n int, fn func(ctx context.Context, worke
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
+	}
+	// Telemetry is observation-only: the wrapped fn runs identically, the
+	// handles are no-ops when disabled, and nothing below reads a metric.
+	if telemetry.Enabled() {
+		mapStart := time.Now()
+		telemetry.C(telemetry.MEngineMaps).Inc()
+		telemetry.C(telemetry.MEngineShards).Add(int64(n))
+		telemetry.G(telemetry.GEngineWorkers).Set(float64(workers))
+		shardWait := telemetry.H(telemetry.MEngineShardWait, telemetry.SecondsBuckets)
+		shardRun := telemetry.H(telemetry.MEngineShardRun, telemetry.SecondsBuckets)
+		defer telemetry.H(telemetry.MEngineMapSeconds, telemetry.SecondsBuckets).ObserveSince(mapStart)
+		inner := fn
+		fn = func(ctx context.Context, worker, shard int) error {
+			pickup := time.Now()
+			shardWait.Observe(pickup.Sub(mapStart).Seconds())
+			err := inner(ctx, worker, shard)
+			shardRun.ObserveSince(pickup)
+			return err
+		}
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

@@ -36,6 +36,7 @@ import (
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/report"
 	"dragonvar/internal/stats"
+	"dragonvar/internal/telemetry"
 )
 
 // Suite holds everything needed to regenerate the evaluation.
@@ -102,6 +103,8 @@ func NeedsCluster(names []string) bool {
 // concurrently: every analysis derives its randomness from (Seed, artifact)
 // and re-simulation runs on a private worker context.
 func (s *Suite) Render(name string) (string, error) {
+	_, span := telemetry.Start(context.Background(), telemetry.SpanReportPrefix+name)
+	defer span.End()
 	switch name {
 	case "table1":
 		return s.Table1(), nil

@@ -23,10 +23,12 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dragonvar/internal/counters"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/routing"
+	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
 
@@ -144,6 +146,16 @@ type Network struct {
 
 	// path cache: flows between the same router pair recur every step
 	pathCache map[uint64][]routing.Path
+
+	// telemetry handles, captured at construction; nil (no-op) when the
+	// process runs without telemetry. Observation-only: nothing in the
+	// simulation reads them, so results are identical with telemetry on.
+	tmCacheHits   *telemetry.Counter
+	tmCacheMisses *telemetry.Counter
+	tmCacheInval  *telemetry.Counter
+	tmRounds      *telemetry.Counter
+	tmRoundFlits  *telemetry.Histogram
+	tmRoundSecs   *telemetry.Histogram
 }
 
 // New creates a network simulator over machine d. The stream drives path
@@ -164,6 +176,13 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 		injPkts:   make([]float64, d.Cfg.NumRouters()),
 		ejPkts:    make([]float64, d.Cfg.NumRouters()),
 		pathCache: make(map[uint64][]routing.Path),
+
+		tmCacheHits:   telemetry.C(telemetry.MNetsimCacheHits),
+		tmCacheMisses: telemetry.C(telemetry.MNetsimCacheMisses),
+		tmCacheInval:  telemetry.C(telemetry.MNetsimCacheInval),
+		tmRounds:      telemetry.C(telemetry.MNetsimRounds),
+		tmRoundFlits:  telemetry.H(telemetry.MNetsimRoundFlits, telemetry.CountBuckets),
+		tmRoundSecs:   telemetry.H(telemetry.MNetsimRoundSecs, telemetry.SecondsBuckets),
 	}
 	n.linkOnList = make([]bool, len(d.Links))
 	n.routerOnList = make([]bool, d.Cfg.NumRouters())
@@ -236,8 +255,10 @@ func pairKey(a, b topology.RouterID) uint64 {
 func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
 	key := pairKey(a, b)
 	if p, ok := n.pathCache[key]; ok {
+		n.tmCacheHits.Add(1)
 		return p
 	}
+	n.tmCacheMisses.Add(1)
 	opt := routing.CandidateOptions{MaxMinimal: n.cfg.MaxMinimal, MaxValiant: n.cfg.MaxValiant}
 	if !n.cfg.Adaptive {
 		opt = routing.CandidateOptions{MaxMinimal: 1, MaxValiant: 0}
@@ -337,6 +358,16 @@ func (n *Network) RunRound(flows []Flow, background []ScaledLoad, duration float
 func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background []ScaledLoad, duration float64) Result {
 	if duration <= 0 {
 		duration = 1
+	}
+	if n.tmRounds != nil { // telemetry on: per-round throughput accounting
+		roundStart := time.Now()
+		defer n.tmRoundSecs.ObserveSince(roundStart)
+		n.tmRounds.Add(1)
+		var offered float64
+		for _, f := range flows {
+			offered += f.Flits
+		}
+		n.tmRoundFlits.Observe(offered)
 	}
 
 	// reset the previous round's active state
@@ -638,4 +669,7 @@ func (n *Network) accumulateEndpointCounters(flows []Flow, duration float64) {
 
 // ResetCache clears the path cache; call between campaigns if memory is a
 // concern (the cache grows with the number of distinct router pairs seen).
-func (n *Network) ResetCache() { n.pathCache = make(map[uint64][]routing.Path) }
+func (n *Network) ResetCache() {
+	n.tmCacheInval.Add(1)
+	n.pathCache = make(map[uint64][]routing.Path)
+}

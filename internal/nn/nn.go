@@ -23,11 +23,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"dragonvar/internal/engine"
 	"dragonvar/internal/linalg"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/stats"
+	"dragonvar/internal/telemetry"
 )
 
 // Sample is one forecasting example: the per-step features of the m
@@ -371,6 +373,10 @@ func (f *Forecaster) backward(dOut float64, sc *scratch, grad []float64) {
 // window shape. The stream drives initialization, shuffling, and the
 // optional subsampling.
 func Train(samples []Sample, cfg Config, s *rng.Stream) *Forecaster {
+	if telemetry.Enabled() {
+		telemetry.C(telemetry.MNNFits).Inc()
+		defer telemetry.H(telemetry.MNNFitSecs, telemetry.SecondsBuckets).ObserveSince(time.Now())
+	}
 	cfg = cfg.withDefaults()
 	if len(samples) == 0 {
 		panic("nn: no training samples")

@@ -1,0 +1,82 @@
+package telemetry
+
+// Canonical metric and span names emitted across the repository. Every
+// instrumented package refers to these constants instead of string
+// literals, and the doc-lint test (lint_docs_test.go at the repo root)
+// checks that each name is documented in docs/OBSERVABILITY.md — so the
+// registry below is the single source of truth for what the system emits.
+const (
+	// internal/engine — the shared execution engine.
+	MEngineMaps       = "engine/maps_total"         // counter: Map/MapOrdered invocations
+	MEngineShards     = "engine/shards_total"       // counter: shards dispatched
+	MEngineShardWait  = "engine/shard_wait_seconds" // histogram: Map entry → shard pickup
+	MEngineShardRun   = "engine/shard_run_seconds"  // histogram: per-shard fn wall time
+	MEngineMapSeconds = "engine/map_seconds"        // histogram: whole Map invocation
+	GEngineWorkers    = "engine/workers"            // gauge: last resolved worker count
+
+	// internal/netsim — the flow-level congestion simulator.
+	MNetsimCacheHits   = "netsim/path_cache_hits"          // counter: candidate-path cache hits
+	MNetsimCacheMisses = "netsim/path_cache_misses"        // counter: candidate-path recomputations
+	MNetsimCacheInval  = "netsim/path_cache_invalidations" // counter: ResetCache calls (fault epochs)
+	MNetsimRounds      = "netsim/rounds_total"             // counter: simulation rounds run
+	MNetsimRoundFlits  = "netsim/round_flits"              // histogram: offered flits per round
+	MNetsimRoundSecs   = "netsim/round_seconds"            // histogram: wall time per round
+
+	// internal/cluster — the campaign driver.
+	MClusterRuns      = "cluster/runs_total"               // counter: controlled runs completed
+	MClusterDrained   = "cluster/runs_drained_total"       // counter: runs killed by a fault mid-flight
+	MClusterRequeues  = "cluster/requeues_total"           // counter: fault requeues issued
+	MClusterAbandoned = "cluster/requeues_abandoned_total" // counter: submissions given up after requeueLimit
+	MClusterRounds    = "cluster/rounds_total"             // counter: campaign simulation rounds
+	MClusterRunSecs   = "cluster/run_seconds"              // histogram: per-run simulation wall time
+	MClusterMergeSecs = "cluster/merge_seconds"            // histogram: serial merge+requeue phase per round
+	MLDMSSamples      = "ldms/samples_total"               // counter: LDMS samples recorded
+
+	// internal/dataset + internal/core — the campaign gob cache.
+	MCacheHits       = "dataset/cache_hits"         // counter: cache satisfied a campaign request
+	MCacheMisses     = "dataset/cache_misses"       // counter: cache absent/stale → regeneration
+	MCacheReadBytes  = "dataset/cache_read_bytes"   // counter: gob bytes read
+	MCacheWriteBytes = "dataset/cache_write_bytes"  // counter: gob bytes written
+	MCacheLoadSecs   = "dataset/cache_load_seconds" // histogram: Load wall time
+	MCacheSaveSecs   = "dataset/cache_save_seconds" // histogram: Save wall time
+
+	// the ML stack (internal/gbr, internal/nn, internal/rfe).
+	MGBRFits    = "ml/gbr_fits_total"   // counter: boosted models fitted
+	MGBRFitSecs = "ml/gbr_fit_seconds"  // histogram: per-fit wall time
+	MNNFits     = "ml/nn_fits_total"    // counter: forecaster trainings
+	MNNFitSecs  = "ml/nn_fit_seconds"   // histogram: per-training wall time
+	MRFEFolds   = "ml/rfe_folds_total"  // counter: RFE cross-validation folds run
+	MRFERounds  = "ml/rfe_rounds_total" // counter: RFE elimination iterations across folds
+)
+
+// Span names. Dynamic suffixes are limited to the documented artifact
+// names ("report/fig9", …); everything else is a fixed string.
+const (
+	SpanCampaign         = "campaign"            // one controlled-experiment campaign
+	SpanCampaignSchedule = "campaign/schedule"   // child: placement of all submissions
+	SpanCampaignRound    = "campaign/round"      // child: one parallel simulation round
+	SpanMLForecast       = "ml/forecast"         // cross-validated forecaster training+eval
+	SpanMLDeviation      = "ml/deviation"        // GBR+RFE deviation analysis
+	SpanMLImportances    = "ml/importances"      // permutation-importance pass
+	SpanMLForecastLong   = "ml/forecast_longrun" // long-run segment forecasting
+	SpanLDMSRecord       = "ldms/record"         // system-wide counter recording
+	SpanReportPrefix     = "report/"             // + artifact name (report/fig9, report/table1, …)
+)
+
+// AllMetricNames lists every metric name the repository emits; the doc-lint
+// test requires each to appear in docs/OBSERVABILITY.md.
+var AllMetricNames = []string{
+	MEngineMaps, MEngineShards, MEngineShardWait, MEngineShardRun, MEngineMapSeconds, GEngineWorkers,
+	MNetsimCacheHits, MNetsimCacheMisses, MNetsimCacheInval, MNetsimRounds, MNetsimRoundFlits, MNetsimRoundSecs,
+	MClusterRuns, MClusterDrained, MClusterRequeues, MClusterAbandoned, MClusterRounds, MClusterRunSecs, MClusterMergeSecs,
+	MLDMSSamples,
+	MCacheHits, MCacheMisses, MCacheReadBytes, MCacheWriteBytes, MCacheLoadSecs, MCacheSaveSecs,
+	MGBRFits, MGBRFitSecs, MNNFits, MNNFitSecs, MRFEFolds, MRFERounds,
+}
+
+// AllSpanNames lists every fixed span name plus the report prefix.
+var AllSpanNames = []string{
+	SpanCampaign, SpanCampaignSchedule, SpanCampaignRound,
+	SpanMLForecast, SpanMLDeviation, SpanMLImportances, SpanMLForecastLong,
+	SpanLDMSRecord, SpanReportPrefix,
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// SpanRecord is one completed span as stored in the registry and exported
+// in snapshots. Offsets are relative to the registry's start time so a
+// trace is self-contained.
+type SpanRecord struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent"` // 0 for root spans
+	Name   string `json:"name"`
+	// Path is the "/"-joined chain of ancestor names ending in Name; flame
+	// aggregation groups by it.
+	Path    string  `json:"path"`
+	StartS  float64 `json:"start_s"` // offset from registry start, seconds
+	DurS    float64 `json:"dur_s"`   // wall-clock duration, seconds
+	Workers int     `json:"-"`       // reserved; not exported yet
+}
+
+// Span is an in-flight traced operation. A nil *Span is a valid no-op
+// handle (telemetry disabled), so callers never branch around tracing.
+type Span struct {
+	r      *Registry
+	id     int64
+	parent int64
+	name   string
+	path   string
+	start  time.Time
+}
+
+type spanCtxKey struct{}
+
+// Start begins a span named name as a child of the span carried by ctx (a
+// root span when ctx carries none) and returns a derived context carrying
+// the new span. When telemetry is disabled it returns (ctx, nil) — the nil
+// span's End is a no-op — so tracing costs one pointer load when off.
+//
+// Spans record wall-clock durations for the process's own execution; they
+// are observation-only and never influence simulation results.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	r := Active()
+	if r == nil {
+		return ctx, nil
+	}
+	return StartIn(r, ctx, name)
+}
+
+// StartIn is Start against an explicit registry, for tests and for callers
+// that manage registry lifetime themselves.
+func StartIn(r *Registry, ctx context.Context, name string) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	var parentID int64
+	path := name
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil && parent.r == r {
+		parentID = parent.id
+		path = parent.path + "/" + name
+	}
+	r.mu.Lock()
+	r.spanSeq++
+	id := r.spanSeq
+	r.mu.Unlock()
+	sp := &Span{r: r, id: id, parent: parentID, name: name, path: path, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// End completes the span and records it in its registry. No-op on a nil
+// handle; safe to call at most once (a second call records a duplicate).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Path:   s.path,
+		StartS: s.start.Sub(s.r.start).Seconds(),
+		DurS:   now.Sub(s.start).Seconds(),
+	}
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, rec)
+	s.r.mu.Unlock()
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

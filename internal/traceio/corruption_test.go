@@ -86,11 +86,11 @@ func TestReadV1Log(t *testing.T) {
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(u uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], u)]) }
 	putS := func(v int64) { buf.Write(tmp[:binary.PutVarint(tmp[:], v)]) }
-	put(2)        // numSeries
-	put(1000)     // t = 1s
-	putS(7)       // series 0
-	putS(-3)      // series 1
-	put(500)      // t = 1.5s
+	put(2)    // numSeries
+	put(1000) // t = 1s
+	putS(7)   // series 0
+	putS(-3)  // series 1
+	put(500)  // t = 1.5s
 	putS(1)
 	putS(1)
 	times, samples, err := ReadAll(&buf)
