@@ -8,7 +8,13 @@
 //	    windows are recorded as explicit missing-sample markers.
 //
 //	dfldms summarize -in FILE [-top K]
-//	    Read a log back and report its busiest routers and gap fraction.
+//	    Read a log back and report its busiest routers and gap fractions
+//	    (global and per-router, so dropout faults are attributable).
+//
+//	dfldms analyze -in FILE [-events FILE|-] [-heatmap FILE.svg] [-csv FILE] ...
+//	    Replay a log through the streaming network-weather monitor: anomaly
+//	    events as JSONL, a per-group × time congestion heatmap, and a
+//	    human-readable weather report.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -25,9 +32,12 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/engine"
+	"dragonvar/internal/export"
+	"dragonvar/internal/monitor"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 	"dragonvar/internal/traceio"
+	"dragonvar/internal/viz"
 )
 
 func main() {
@@ -41,6 +51,8 @@ func main() {
 		err = cmdRecord(os.Args[2:])
 	case "summarize":
 		err = cmdSummarize(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -60,7 +72,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dfldms record    [-small] [-days N] [-seed S] [-hours H] [-interval SEC] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] -out FILE
-  dfldms summarize -in FILE [-top K]`)
+  dfldms summarize -in FILE [-top K]
+  dfldms analyze   -in FILE [-events FILE|-] [-heatmap FILE.svg] [-csv FILE] [-top K]
+                   [-rpg N] [-hot-z Z] [-stall-onset R] [-stall-clear R] [-bin SEC] [-interval SEC]`)
 }
 
 func cmdRecord(args []string) error {
@@ -175,6 +189,7 @@ func cmdSummarize(args []string) error {
 	var first, last []float64
 	var t0, t1 float64
 	samples, missing := 0, 0
+	gaps := make([]int, routers) // per-router samples with any NaN series
 	buf := make([]float64, series)
 	for {
 		t, v, err := r.Next(buf)
@@ -191,6 +206,19 @@ func cmdSummarize(args []string) error {
 		samples++
 		if r.Missing() {
 			missing++
+		}
+		healthy := true
+		for ri := 0; ri < routers; ri++ {
+			base := ri * cluster.LDMSSeriesPerRouter
+			for s := 0; s < cluster.LDMSSeriesPerRouter; s++ {
+				if math.IsNaN(v[base+s]) {
+					gaps[ri]++
+					healthy = false
+					break
+				}
+			}
+		}
+		if !healthy {
 			continue
 		}
 		if first == nil {
@@ -209,6 +237,7 @@ func cmdSummarize(args []string) error {
 	if missing > 0 {
 		fmt.Printf("sampler dropouts: %d of %d samples missing (%.1f%%)\n",
 			missing, samples, 100*float64(missing)/float64(samples))
+		reportRouterGaps(gaps, samples, *top)
 	}
 	type load struct {
 		router int
@@ -229,6 +258,158 @@ func cmdSummarize(args []string) error {
 	for i := 0; i < *top && i < len(loads); i++ {
 		fmt.Printf("  router %4d: %.3g flits, %.3g stall cycles\n",
 			loads[i].router, loads[i].flits, loads[i].stalls)
+	}
+	return nil
+}
+
+// reportRouterGaps prints the per-router gap distribution so dropout faults
+// can be attributed to specific routers rather than the sampler as a whole.
+func reportRouterGaps(gaps []int, samples, top int) {
+	lo, hi := gaps[0], gaps[0]
+	total := 0
+	for _, g := range gaps {
+		total += g
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	pct := func(n int) float64 { return 100 * float64(n) / float64(samples) }
+	fmt.Printf("per-router gap fraction: min %.1f%%, mean %.1f%%, max %.1f%%\n",
+		pct(lo), 100*float64(total)/float64(len(gaps))/float64(samples), pct(hi))
+	if lo == hi {
+		fmt.Println("  (uniform across routers: sampler-wide dropout windows)")
+		return
+	}
+	type rg struct{ router, n int }
+	worst := make([]rg, 0, len(gaps))
+	for ri, g := range gaps {
+		if g > lo {
+			worst = append(worst, rg{ri, g})
+		}
+	}
+	sort.Slice(worst, func(i, j int) bool {
+		if worst[i].n != worst[j].n {
+			return worst[i].n > worst[j].n
+		}
+		return worst[i].router < worst[j].router
+	})
+	fmt.Println("  most-gapped routers:")
+	for i := 0; i < top && i < len(worst); i++ {
+		fmt.Printf("    router %4d: %d of %d samples missing (%.1f%%)\n",
+			worst[i].router, worst[i].n, samples, pct(worst[i].n))
+	}
+}
+
+// inferGroupSize guesses the dragonfly group size from the router count by
+// matching the known machine configs; an unknown machine collapses to a
+// single group (rollups still work, just coarser).
+func inferGroupSize(routers int) int {
+	for _, cfg := range []topology.Config{topology.Cori(), topology.Small()} {
+		if cfg.NumRouters() == routers {
+			return cfg.RoutersPerGroup()
+		}
+	}
+	return routers
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	in := fs.String("in", "ldms.bin", "input log file")
+	eventsOut := fs.String("events", "", `write anomaly events as JSONL to this file ("-" = stdout)`)
+	heatOut := fs.String("heatmap", "", "write the per-group congestion heatmap to this SVG file")
+	csvOut := fs.String("csv", "", "write the heatmap matrix to this CSV file")
+	top := fs.Int("top", 10, "routers to list in the report")
+	rpg := fs.Int("rpg", 0, "routers per dragonfly group (0 = infer from router count)")
+	hotZ := fs.Float64("hot-z", 0, "hot-router onset threshold in cross-sectional std devs (0 = default)")
+	stallOnset := fs.Float64("stall-onset", 0, "group congestion onset threshold on smoothed stall ratio (0 = default)")
+	stallClear := fs.Float64("stall-clear", 0, "congestion clear threshold (0 = onset/2)")
+	bin := fs.Float64("bin", 0, "heatmap time-bin width, seconds (0 = default)")
+	interval := fs.Float64("interval", 0, "expected sampling interval for time-jump gap detection (0 = infer)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fh, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	rd, err := traceio.NewReader(fh)
+	if err != nil {
+		return err
+	}
+	series := rd.NumSeries()
+	if series%cluster.LDMSSeriesPerRouter != 0 {
+		return fmt.Errorf("%s holds %d series, not a multiple of %d per router",
+			*in, series, cluster.LDMSSeriesPerRouter)
+	}
+	routers := series / cluster.LDMSSeriesPerRouter
+	if *rpg <= 0 {
+		*rpg = inferGroupSize(routers)
+	}
+
+	var events io.Writer
+	if *eventsOut == "-" {
+		events = os.Stdout
+	} else if *eventsOut != "" {
+		ef, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		events = ef
+	}
+
+	m, err := monitor.New(monitor.Config{
+		NumRouters:      routers,
+		SeriesPerRouter: cluster.LDMSSeriesPerRouter,
+		RoutersPerGroup: *rpg,
+		Interval:        *interval,
+		DetectTimeGaps:  true, // replay is time-ordered
+		HotZ:            *hotZ,
+		StallOnset:      *stallOnset,
+		StallClear:      *stallClear,
+		HeatmapBin:      *bin,
+		Events:          events,
+		Source:          "replay",
+	})
+	if err != nil {
+		return err
+	}
+	st, err := monitor.Replay(rd, m)
+	if err != nil {
+		return fmt.Errorf("analyzing %s: %w", *in, err)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d samples (%d missing) over [%.0fs, %.0fs], %d routers in groups of %d\n",
+		st.Samples, st.Missing, st.FirstT, st.LastT, routers, *rpg)
+	fmt.Print(m.Report(*top))
+
+	if *heatOut != "" || *csvOut != "" {
+		rows, xs, vals := m.HeatmapData()
+		if *heatOut != "" {
+			h := viz.NewHeatmap("Network weather: group stall ratio", "time (s)", "group", rows, xs, vals)
+			if err := os.WriteFile(*heatOut, []byte(h.SVG()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "heatmap: %s\n", *heatOut)
+		}
+		if *csvOut != "" {
+			cf, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			if err := export.Matrix(cf, "group", rows, xs, vals); err != nil {
+				cf.Close()
+				return err
+			}
+			if err := cf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "heatmap csv: %s\n", *csvOut)
+		}
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +32,7 @@ import (
 	"dragonvar/internal/engine"
 	"dragonvar/internal/experiments"
 	"dragonvar/internal/export"
+	"dragonvar/internal/monitor"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
@@ -101,8 +103,8 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR]
-  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [artifact ...]
+  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [-monitor FILE|-]
+  dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [-monitor FILE|-] [artifact ...]
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
   dfvar plot     [-cache FILE] [-days N] [-seed S] [-small] [-fast] -out DIR
@@ -113,8 +115,10 @@ fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
   any worker count produces byte-identical output. SIGINT cancels gracefully,
   flushing completed campaign runs to the cache as a partial dataset.
 -telemetry FILE writes a metrics + span-trace snapshot (docs/OBSERVABILITY.md)
-  on exit; -pprof ADDR serves net/http/pprof plus a live /telemetry endpoint.
-  Telemetry is observation-only: output bytes are identical with it on or off.`)
+  on exit; -pprof ADDR serves net/http/pprof plus live /telemetry and /metrics
+  (OpenMetrics) endpoints; -monitor FILE streams network-weather anomaly events
+  as JSONL while the campaign simulates ("-" = stderr) and prints a weather
+  report. All three are observation-only: output bytes are identical on or off.`)
 }
 
 // commonFlags defines the flags shared by campaign and report.
@@ -128,6 +132,7 @@ type commonFlags struct {
 	workers   int
 	telemetry string
 	pprof     string
+	monitor   string
 }
 
 func addCommon(fs *flag.FlagSet, c *commonFlags) {
@@ -142,7 +147,68 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.StringVar(&c.telemetry, "telemetry", "",
 		"write a telemetry snapshot (metrics + span trace, docs/OBSERVABILITY.md) to this JSON file on exit")
 	fs.StringVar(&c.pprof, "pprof", "",
-		"serve net/http/pprof and a live /telemetry endpoint on this address (e.g. localhost:6060)")
+		"serve net/http/pprof and a live /telemetry + /metrics endpoint on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.monitor, "monitor", "",
+		`attach the streaming network-weather monitor to the simulation; anomaly events go to this JSONL file ("-" = stderr)`)
+}
+
+// attachMonitor wires a live network-weather monitor into the campaign's
+// cluster config when -monitor was given. Like telemetry it is observation-
+// only: campaign bytes are identical with it on or off. The returned finish
+// prints the weather report to stderr and closes the event stream; call it
+// after the simulation. Without the flag both are cheap no-ops.
+func (c commonFlags) attachMonitor(cfg *cluster.Config) (finish func(), err error) {
+	if c.monitor == "" {
+		return func() {}, nil
+	}
+	var events io.Writer
+	var closer io.Closer
+	if c.monitor == "-" {
+		events = os.Stderr
+	} else {
+		f, err := os.Create(c.monitor)
+		if err != nil {
+			return nil, err
+		}
+		events = f
+		closer = f
+	}
+	topo := topology.Cori()
+	if c.small {
+		topo = topology.Small()
+	}
+	// DetectTimeGaps stays off: parallel campaign rounds interleave runs out
+	// of time order, so only explicit missing markers count as gaps.
+	m, err := monitor.New(monitor.Config{
+		NumRouters:      topo.NumRouters(),
+		SeriesPerRouter: cluster.LDMSSeriesPerRouter,
+		RoutersPerGroup: topo.RoutersPerGroup(),
+		HeatmapBin:      3600,
+		Events:          events,
+		Source:          "campaign",
+	})
+	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, err
+	}
+	cfg.Monitor = m
+	return func() {
+		if err := m.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "dfvar: monitor: %v\n", err)
+		}
+		if s := m.Summary(); s.Samples > 0 {
+			fmt.Fprint(os.Stderr, m.Report(5))
+		} else {
+			fmt.Fprintln(os.Stderr, "network-weather monitor: no rounds observed (campaign loaded from cache?)")
+		}
+		if closer != nil {
+			if err := closer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dfvar: monitor: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // startTelemetry installs the process-wide registry when -telemetry or
@@ -196,11 +262,18 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	}
 	defer flush()
 
-	start := time.Now()
-	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	ccfg := c.clusterConfig()
+	finish, err := c.attachMonitor(&ccfg)
 	if err != nil {
 		return err
 	}
+
+	start := time.Now()
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: ccfg, CachePath: c.cache})
+	if err != nil {
+		return err
+	}
+	finish()
 	fmt.Printf("campaign: %d runs across %d datasets in %v\n",
 		camp.TotalRuns(), len(camp.Datasets), time.Since(start).Round(time.Second))
 	for _, ds := range camp.Datasets {
@@ -255,10 +328,16 @@ func cmdReport(ctx context.Context, args []string) error {
 		wanted = experiments.AllArtifacts()
 	}
 
-	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	ccfg := c.clusterConfig()
+	finish, err := c.attachMonitor(&ccfg)
 	if err != nil {
 		return err
 	}
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: ccfg, CachePath: c.cache})
+	if err != nil {
+		return err
+	}
+	finish()
 	suite := &experiments.Suite{Camp: camp, Seed: c.seed, Fast: c.fast, Workers: c.workers}
 	if experiments.NeedsCluster(wanted) {
 		fmt.Fprintln(os.Stderr, "rebuilding cluster state for fig2/fig12...")
@@ -294,10 +373,16 @@ func cmdExport(ctx context.Context, args []string) error {
 		return err
 	}
 	defer flush()
-	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	ccfg := c.clusterConfig()
+	finish, err := c.attachMonitor(&ccfg)
 	if err != nil {
 		return err
 	}
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: ccfg, CachePath: c.cache})
+	if err != nil {
+		return err
+	}
+	finish()
 	if err := export.CampaignToDir(camp, *out); err != nil {
 		return err
 	}

@@ -31,10 +31,16 @@ func cmdPlot(ctx context.Context, args []string) error {
 	}
 	defer flush()
 
-	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: c.clusterConfig(), CachePath: c.cache})
+	ccfg := c.clusterConfig()
+	finish, err := c.attachMonitor(&ccfg)
 	if err != nil {
 		return err
 	}
+	camp, err := core.LoadOrGenerateCtx(ctx, core.CampaignConfig{Cluster: ccfg, CachePath: c.cache})
+	if err != nil {
+		return err
+	}
+	finish()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}

@@ -56,6 +56,27 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, receives (completed, total) after each run.
 	Progress func(done, total int)
+	// Monitor, when non-nil, receives every simulated round's per-router
+	// counter deltas (and dropout markers) as they are produced — the live
+	// feed of the streaming monitor (internal/monitor implements this).
+	// Strictly observation-only: the campaign result is byte-identical
+	// with or without a monitor attached. In a parallel campaign the
+	// observer is called concurrently from worker goroutines, and rounds
+	// of different runs interleave out of time order — implementations
+	// must lock, and must not infer sampler gaps from timestamp jumps.
+	Monitor RoundObserver
+}
+
+// RoundObserver is the live monitoring hook of a campaign. ObserveRound
+// receives one round's per-router counter deltas over dt seconds, laid out
+// router-major with LDMSSeriesPerRouter series per router (the layout of
+// counters.Board.DeltaInto with the LDMS source list); the slice is scratch
+// reused between calls, so implementations must copy what they keep.
+// ObserveMissing reports a round whose counter reads fell in a sampler
+// dropout window.
+type RoundObserver interface {
+	ObserveRound(t, dt float64, deltas []float64)
+	ObserveMissing(t float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -193,15 +214,20 @@ type simWorker struct {
 	curEpoch   int
 	sysRouters []topology.RouterID // scratch, reused per run
 	before     *counters.Board     // scratch snapshot, reused per step
+	monDeltas  []float64           // scratch for the Monitor feed; nil when unmonitored
 }
 
 func (c *Cluster) newSimWorker() *simWorker {
-	return &simWorker{
+	w := &simWorker{
 		c:        c,
 		net:      netsim.New(c.Topo, c.cfg.Net, c.root.Split("netsim")),
 		curEpoch: -1,
 		before:   counters.NewBoard(c.Topo.Cfg.NumRouters()),
 	}
+	if c.cfg.Monitor != nil {
+		w.monDeltas = make([]float64, c.Topo.Cfg.NumRouters()*LDMSSeriesPerRouter)
+	}
+	return w
 }
 
 // drainError aborts a simulated run whose nodes were lost to a drain,
@@ -616,6 +642,17 @@ func (w *simWorker) simulate(p *plan, plans []*plan, self int) (*dataset.Run, er
 			for i := range io {
 				io[i] = counters.Missing()
 				sys[i] = counters.Missing()
+			}
+		}
+
+		// live monitor feed: the round's raw (noise-free) per-router
+		// deltas, or the dropout marker — observation-only by contract
+		if mon := cfg.Monitor; mon != nil {
+			if missing {
+				mon.ObserveMissing(t)
+			} else {
+				w.net.Board.DeltaInto(before, ldmsSources[:], w.monDeltas)
+				mon.ObserveRound(t, dur, w.monDeltas)
 			}
 		}
 

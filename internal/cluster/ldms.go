@@ -54,6 +54,18 @@ func (c *Cluster) RecordLDMSCtx(ctx context.Context, w *traceio.Writer, t0, t1, 
 	samples := 0
 	defer func() { c.tm.ldms.Add(int64(samples)) }()
 
+	// live monitor feed state: deltas against the previous healthy sample
+	// (the counters keep counting through a dropout, so the first healthy
+	// delta after a gap spans it)
+	mon := c.cfg.Monitor
+	var monPrev, monDeltas []float64
+	monPrevT := 0.0
+	if mon != nil {
+		monPrev = make([]float64, len(values))
+		monDeltas = make([]float64, len(values))
+	}
+	havePrev := false
+
 	jobs := c.Timeline.Overlapping(t0, t1)
 	var scaled []netsim.ScaledLoad
 	for t := t0; t < t1; t += interval {
@@ -77,18 +89,26 @@ func (c *Cluster) RecordLDMSCtx(ctx context.Context, w *traceio.Writer, t0, t1, 
 			if err := w.WriteMissing(t); err != nil {
 				return samples, err
 			}
+			if mon != nil {
+				mon.ObserveMissing(t)
+			}
 			samples++
 			continue
 		}
-		for r := 0; r < nr; r++ {
-			rc := &c.Net.Board.PerRouter[r]
-			base := r * LDMSSeriesPerRouter
-			for k, src := range ldmsSources {
-				values[base+k] = rc[src]
-			}
-		}
+		c.Net.Board.SampleInto(ldmsSources[:], values)
 		if err := w.WriteSample(t, values); err != nil {
 			return samples, err
+		}
+		if mon != nil {
+			if havePrev && t > monPrevT {
+				for i := range monDeltas {
+					monDeltas[i] = values[i] - monPrev[i]
+				}
+				mon.ObserveRound(t, t-monPrevT, monDeltas)
+			}
+			copy(monPrev, values)
+			monPrevT = t
+			havePrev = true
 		}
 		samples++
 	}

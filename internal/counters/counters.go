@@ -223,6 +223,34 @@ func (b *Board) LDMSSample(since *Board, routers []topology.RouterID) [NumLDMS]f
 	return out
 }
 
+// SampleInto fills dst with the cumulative value of each source counter at
+// every router, laid out row-major (router-major): dst[r*len(sources)+k] =
+// counter sources[k] at router r. dst must have len(PerRouter)*len(sources)
+// elements. This is the wire layout of a DFLDMS sample row.
+func (b *Board) SampleInto(sources []Index, dst []float64) {
+	k := len(sources)
+	for r := range b.PerRouter {
+		rc := &b.PerRouter[r]
+		for i, src := range sources {
+			dst[r*k+i] = rc[src]
+		}
+	}
+}
+
+// DeltaInto fills dst with the per-router increase of each source counter
+// since the snapshot, in the same router-major layout as SampleInto. dst
+// must have len(PerRouter)*len(sources) elements.
+func (b *Board) DeltaInto(since *Board, sources []Index, dst []float64) {
+	k := len(sources)
+	for r := range b.PerRouter {
+		cur := &b.PerRouter[r]
+		old := &since.PerRouter[r]
+		for i, src := range sources {
+			dst[r*k+i] = cur[src] - old[src]
+		}
+	}
+}
+
 // FeatureSet selects which feature groups a model sees, mirroring the
 // ablations of §V-C: the job's own counters are always present; placement,
 // io, and sys features are optional extras.

@@ -181,3 +181,41 @@ func TestSnapshotInto(t *testing.T) {
 		t.Fatal("SnapshotInto resize failed")
 	}
 }
+
+func TestSampleIntoAndDeltaInto(t *testing.T) {
+	b := NewBoard(3)
+	b.Add(0, RTFlitTot, 100)
+	b.Add(0, RTRBStl, 7)
+	b.Add(2, PTFlitTot, 50)
+	b.Add(2, PTPktTot, 5)
+	sources := []Index{RTFlitTot, RTRBStl, PTFlitTot, PTPktTot}
+
+	dst := make([]float64, 3*len(sources))
+	b.SampleInto(sources, dst)
+	want := []float64{
+		100, 7, 0, 0, // router 0
+		0, 0, 0, 0, // router 1
+		0, 0, 50, 5, // router 2
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SampleInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+
+	before := b.Snapshot()
+	b.Add(0, RTFlitTot, 10)
+	b.Add(1, RTRBStl, 3)
+	b.Add(2, PTPktTot, 1)
+	b.DeltaInto(before, sources, dst)
+	wantDelta := []float64{
+		10, 0, 0, 0,
+		0, 3, 0, 0,
+		0, 0, 0, 1,
+	}
+	for i := range wantDelta {
+		if dst[i] != wantDelta[i] {
+			t.Fatalf("DeltaInto[%d] = %v, want %v", i, dst[i], wantDelta[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -165,3 +166,39 @@ func writeFile(path string, fn func(io.Writer) error) error {
 
 // f formats a float compactly for CSV.
 func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// Matrix writes a labeled row × column matrix as CSV — the export form of
+// the monitor's congestion heatmap. The header is rowName followed by one
+// column per x value; NaN cells (no data) are written empty.
+func Matrix(w io.Writer, rowName string, rows []string, x []float64, values [][]float64) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(x)+1)
+	header = append(header, rowName)
+	for _, xv := range x {
+		header = append(header, f(xv))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for i, label := range rows {
+		row = row[:0]
+		row = append(row, label)
+		for j := range x {
+			v := math.NaN()
+			if i < len(values) && j < len(values[i]) {
+				v = values[i][j]
+			}
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, f(v))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

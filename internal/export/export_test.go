@@ -1,7 +1,9 @@
 package export
 
 import (
+	"bytes"
 	"encoding/csv"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -133,5 +135,31 @@ func TestCampaignToDir(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Fatalf("missing %s: %v", name, err)
 		}
+	}
+}
+
+func TestMatrixCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []string{"g0", "g1"}
+	x := []float64{0, 900}
+	values := [][]float64{{0.25, math.NaN()}, {0.5, 0.75}}
+	if err := Matrix(&buf, "group", rows, x, values); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 3 {
+		t.Fatalf("rows = %d, want 3 (header + 2)", len(rec))
+	}
+	if rec[0][0] != "group" || rec[0][1] != "0" || rec[0][2] != "900" {
+		t.Errorf("header = %v", rec[0])
+	}
+	if rec[1][0] != "g0" || rec[1][1] != "0.25" || rec[1][2] != "" {
+		t.Errorf("row g0 = %v (NaN should be empty)", rec[1])
+	}
+	if rec[2][0] != "g1" || rec[2][1] != "0.5" || rec[2][2] != "0.75" {
+		t.Errorf("row g1 = %v", rec[2])
 	}
 }

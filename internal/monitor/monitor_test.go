@@ -1,0 +1,432 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dragonvar/internal/traceio"
+)
+
+// decodeEvents parses a JSONL buffer into events, failing on bad lines.
+func decodeEvents(t *testing.T, buf *bytes.Buffer) []Event {
+	t.Helper()
+	var out []Event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func ofType(evs []Event, typ string) []Event {
+	var out []Event
+	for _, ev := range evs {
+		if ev.Type == typ {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted zero NumRouters")
+	}
+	if _, err := New(Config{NumRouters: 4, SeriesPerRouter: 2, StallSeries: 2}); err == nil {
+		t.Fatal("New accepted out-of-range StallSeries")
+	}
+	m, err := New(Config{NumRouters: 33, RoutersPerGroup: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3 (ceil 33/16)", m.NumGroups())
+	}
+}
+
+func TestHotRouterDetection(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{NumRouters: 64, SeriesPerRouter: 4, RoutersPerGroup: 16, Events: &buf, Source: "test"}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = m.cfg // defaults applied
+	deltas := make([]float64, cfg.NumRouters*cfg.SeriesPerRouter)
+	hotRouter := 5
+	// Base rates carry a per-router spread (100+r flits/s) so the
+	// cross-sectional std has a floor; a lone outlier over identical peers
+	// would keep a scale-invariant z forever.
+	feed := func(t0 float64, n int, hotRate float64) float64 {
+		tt := t0
+		for i := 0; i < n; i++ {
+			for r := 0; r < cfg.NumRouters; r++ {
+				rate := 100.0 + float64(r)
+				if r == hotRouter && hotRate > 0 {
+					rate = hotRate
+				}
+				deltas[r*cfg.SeriesPerRouter+cfg.FlitSeries] = rate
+			}
+			m.ObserveRound(tt, 1, deltas)
+			tt++
+		}
+		return tt
+	}
+	tt := feed(0, 10, 0)     // warm-up: spread alone keeps every z below threshold
+	tt = feed(tt, 10, 10000) // router 5 runs ~100× hotter
+	_ = feed(tt, 40, 0)      // back to baseline: EWMA decays, clears
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeEvents(t, &buf)
+	hots := ofType(evs, EventHotRouter)
+	if len(hots) != 1 {
+		t.Fatalf("got %d hot_router events, want 1: %+v", len(hots), evs)
+	}
+	if hots[0].Router != hotRouter || hots[0].Group != 0 {
+		t.Errorf("hot event at router %d group %d, want router %d group 0", hots[0].Router, hots[0].Group, hotRouter)
+	}
+	if hots[0].Z < m.cfg.HotZ {
+		t.Errorf("hot event z = %v below threshold %v", hots[0].Z, m.cfg.HotZ)
+	}
+	if hots[0].Source != "test" {
+		t.Errorf("event source = %q, want %q", hots[0].Source, "test")
+	}
+	clears := ofType(evs, EventHotRouterClear)
+	if len(clears) != 1 || clears[0].Router != hotRouter {
+		t.Fatalf("got clear events %+v, want exactly one for router %d", clears, hotRouter)
+	}
+	if s := m.Summary(); s.HotRouters != 0 {
+		t.Errorf("summary still reports %d hot routers after clear", s.HotRouters)
+	}
+}
+
+func TestCongestionOnsetAndClear(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(Config{NumRouters: 8, SeriesPerRouter: 4, RoutersPerGroup: 4, Events: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.cfg
+	// Group 0 stalls at ratio 0.5 (above onset 0.25); group 1 stays at 0.01.
+	deltas := make([]float64, cfg.NumRouters*cfg.SeriesPerRouter)
+	tt := 0.0
+	feedRatio := func(n int, g0 float64) {
+		for i := 0; i < n; i++ {
+			for r := 0; r < cfg.NumRouters; r++ {
+				base := r * cfg.SeriesPerRouter
+				deltas[base+cfg.FlitSeries] = 1000
+				ratio := 0.01
+				if r < 4 {
+					ratio = g0
+				}
+				deltas[base+cfg.StallSeries] = 1000 * ratio
+			}
+			m.ObserveRound(tt, 1, deltas)
+			tt++
+		}
+	}
+	feedRatio(5, 0.5)
+	feedRatio(30, 0.001) // EWMA decays below clear threshold
+	evs := decodeEvents(t, &buf)
+	onsets := ofType(evs, EventCongestionOnset)
+	if len(onsets) != 1 || onsets[0].Group != 0 {
+		t.Fatalf("onsets = %+v, want exactly one for group 0", onsets)
+	}
+	if onsets[0].Router != -1 {
+		t.Errorf("group event carries router %d, want -1", onsets[0].Router)
+	}
+	clears := ofType(evs, EventCongestionClear)
+	if len(clears) != 1 || clears[0].Group != 0 {
+		t.Fatalf("clears = %+v, want exactly one for group 0", clears)
+	}
+	gr := m.GroupReport()
+	if len(gr) != 2 {
+		t.Fatalf("GroupReport has %d groups, want 2", len(gr))
+	}
+	if gr[0].StallRatio <= gr[1].StallRatio {
+		t.Errorf("group 0 lifetime ratio %v not above group 1's %v", gr[0].StallRatio, gr[1].StallRatio)
+	}
+}
+
+func TestGapCoalescing(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(Config{NumRouters: 2, SeriesPerRouter: 4, Events: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := make([]float64, 2*4)
+	m.ObserveRound(1, 1, deltas)
+	m.ObserveMissing(2)
+	m.ObserveMissing(3)
+	m.ObserveMissing(4)
+	m.ObserveRound(5, 1, deltas) // closes the gap
+	evs := ofType(decodeEvents(t, &buf), EventSamplerGap)
+	if len(evs) != 1 {
+		t.Fatalf("got %d sampler_gap events, want 1", len(evs))
+	}
+	g := evs[0]
+	if g.GapStart != 2 || g.GapEnd != 4 || g.Missed != 3 {
+		t.Errorf("gap = [%v, %v] missed %d, want [2, 4] missed 3", g.GapStart, g.GapEnd, g.Missed)
+	}
+	s := m.Summary()
+	if s.Missing != 3 || s.Samples != 2 {
+		t.Errorf("summary: %d missing / %d samples, want 3 / 2", s.Missing, s.Samples)
+	}
+	if want := 3.0 / 5.0; math.Abs(s.GapFraction-want) > 1e-12 {
+		t.Errorf("gap fraction = %v, want %v", s.GapFraction, want)
+	}
+
+	// A gap still open at Finish is emitted then.
+	buf.Reset()
+	m.ObserveMissing(6)
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	evs = ofType(decodeEvents(t, &buf), EventSamplerGap)
+	if len(evs) != 1 || evs[0].Missed != 1 {
+		t.Fatalf("open gap at Finish: events = %+v, want one with missed=1", evs)
+	}
+}
+
+func TestTimestampJumpGapDetection(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(Config{NumRouters: 2, SeriesPerRouter: 4, DetectTimeGaps: true, Events: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := make([]float64, 2*4)
+	m.ObserveRound(1, 1, deltas)
+	m.ObserveRound(2, 1, deltas)
+	m.ObserveRound(10, 1, deltas) // jump of 8 intervals
+	evs := ofType(decodeEvents(t, &buf), EventSamplerGap)
+	if len(evs) != 1 {
+		t.Fatalf("got %d sampler_gap events, want 1", len(evs))
+	}
+	if evs[0].Missed != 7 {
+		t.Errorf("inferred gap missed = %d, want 7", evs[0].Missed)
+	}
+
+	// Off by default: the same jump emits nothing.
+	var buf2 bytes.Buffer
+	m2, err := New(Config{NumRouters: 2, SeriesPerRouter: 4, Events: &buf2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.ObserveRound(1, 1, deltas)
+	m2.ObserveRound(10, 1, deltas)
+	if buf2.Len() != 0 {
+		t.Errorf("DetectTimeGaps=false still emitted: %s", buf2.String())
+	}
+}
+
+// TestExplicitGapNotDoubleCounted guards against a gap being reported twice
+// on ordered streams: explicit missing markers AND the timestamp jump they
+// cause both describe the same outage, which must yield ONE event.
+func TestExplicitGapNotDoubleCounted(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(Config{NumRouters: 2, SeriesPerRouter: 4, DetectTimeGaps: true, Events: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := make([]float64, 2*4)
+	m.ObserveRound(1, 1, deltas)
+	m.ObserveRound(2, 1, deltas)
+	m.ObserveMissing(3)
+	m.ObserveMissing(4)
+	m.ObserveMissing(5)
+	m.ObserveRound(6, 4, deltas) // healthy sample after the marked outage
+	evs := ofType(decodeEvents(t, &buf), EventSamplerGap)
+	if len(evs) != 1 {
+		t.Fatalf("got %d sampler_gap events, want 1: %+v", len(evs), evs)
+	}
+	if evs[0].Missed != 3 {
+		t.Errorf("gap missed = %d, want 3", evs[0].Missed)
+	}
+}
+
+func TestSeriesStatsAndTopRouters(t *testing.T) {
+	cfg := Config{NumRouters: 4, SeriesPerRouter: 2, FlitSeries: 0, StallSeries: 1}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Router r receives flit deltas 100·(r+1) per 2-second round → rate 50·(r+1).
+	deltas := make([]float64, 4*2)
+	for i := 0; i < 6; i++ {
+		for r := 0; r < 4; r++ {
+			deltas[r*2] = 100 * float64(r+1)
+		}
+		m.ObserveRound(float64(i)*2, 2, deltas)
+	}
+	top := m.TopRouters(2)
+	if len(top) != 2 {
+		t.Fatalf("TopRouters(2) returned %d entries", len(top))
+	}
+	if top[0].Router != 3 || top[1].Router != 2 {
+		t.Errorf("top routers = %d, %d; want 3, 2", top[0].Router, top[1].Router)
+	}
+	if math.Abs(top[0].MeanRate-200) > 1e-9 {
+		t.Errorf("router 3 mean rate = %v, want 200", top[0].MeanRate)
+	}
+	if top[0].StdRate != 0 {
+		t.Errorf("constant-rate std = %v, want 0", top[0].StdRate)
+	}
+}
+
+func TestHeatmapData(t *testing.T) {
+	m, err := New(Config{NumRouters: 2, SeriesPerRouter: 2, FlitSeries: 0, StallSeries: 1,
+		RoutersPerGroup: 1, HeatmapBin: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Router 0 ratio 0.5, router 1 ratio 0.1, samples at t = 0..29.
+	deltas := []float64{1000, 500, 1000, 100}
+	for i := 0; i < 30; i++ {
+		m.ObserveRound(float64(i), 1, deltas)
+	}
+	rows, xs, vals := m.HeatmapData()
+	if len(rows) != 2 || len(xs) != 3 {
+		t.Fatalf("heatmap %d rows × %d bins, want 2 × 3", len(rows), len(xs))
+	}
+	if xs[0] != 0 || xs[1] != 10 || xs[2] != 20 {
+		t.Errorf("bin starts = %v, want [0 10 20]", xs)
+	}
+	for _, v := range vals[0] {
+		if math.Abs(v-0.5) > 1e-9 {
+			t.Errorf("group 0 bin mean = %v, want 0.5", v)
+		}
+	}
+	for _, v := range vals[1] {
+		if math.Abs(v-0.1) > 1e-9 {
+			t.Errorf("group 1 bin mean = %v, want 0.1", v)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Build a synthetic log: 3 routers × 2 series, cumulative counters
+	// growing at known rates, with a dropout gap in the middle.
+	const nr, spr = 3, 2
+	var logBuf bytes.Buffer
+	w, err := traceio.NewWriter(&logBuf, nr*spr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := make([]float64, nr*spr)
+	tt := 0.0
+	write := func(n int, missing bool) {
+		for i := 0; i < n; i++ {
+			tt += 1
+			if missing {
+				if err := w.WriteMissing(tt); err != nil {
+					t.Fatal(err)
+				}
+				// hardware keeps counting through the dropout
+				for r := 0; r < nr; r++ {
+					cum[r*spr] += 1000 * float64(r+1)
+					cum[r*spr+1] += 10
+				}
+				continue
+			}
+			for r := 0; r < nr; r++ {
+				cum[r*spr] += 1000 * float64(r+1)
+				cum[r*spr+1] += 10
+			}
+			if err := w.WriteSample(tt, cum); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write(5, false)
+	write(3, true)
+	write(5, false)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := traceio.NewReader(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events bytes.Buffer
+	m, err := New(Config{NumRouters: nr, SeriesPerRouter: spr, Events: &events, Source: "replay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(rd, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 healthy rows, first is the delta baseline → 9 observations.
+	if st.Samples != 9 || st.Missing != 3 {
+		t.Fatalf("replay stats = %+v, want 9 samples / 3 missing", st)
+	}
+	if st.FirstT != 1 || st.LastT != 13 {
+		t.Errorf("replay span [%v, %v], want [1, 13]", st.FirstT, st.LastT)
+	}
+	gaps := ofType(decodeEvents(t, &events), EventSamplerGap)
+	if len(gaps) != 1 || gaps[0].Missed != 3 {
+		t.Fatalf("gap events = %+v, want one with missed=3", gaps)
+	}
+	// Rates survive the gap: the post-gap delta spans the dropout, and the
+	// counters kept growing at the same rate, so every observation is
+	// 1000·(r+1) flits/s with zero variance.
+	for i, rs := range m.TopRouters(nr) {
+		wantRate := 1000 * float64(nr-i)
+		if math.Abs(rs.MeanRate-wantRate) > 1e-9 || rs.StdRate > 1e-9 {
+			t.Errorf("router %d mean=%v std=%v, want mean=%v std=0", rs.Router, rs.MeanRate, rs.StdRate, wantRate)
+		}
+	}
+}
+
+func TestReplaySeriesMismatch(t *testing.T) {
+	var logBuf bytes.Buffer
+	w, err := traceio.NewWriter(&logBuf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSample(1, make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := traceio.NewReader(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{NumRouters: 3, SeriesPerRouter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(rd, m); err == nil {
+		t.Fatal("Replay accepted a log with the wrong series count")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	m, err := New(Config{NumRouters: 4, SeriesPerRouter: 2, RoutersPerGroup: 2, Source: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []float64{100, 50, 100, 5, 100, 5, 100, 5}
+	for i := 0; i < 4; i++ {
+		m.ObserveRound(float64(i), 1, deltas)
+	}
+	rep := m.Report(2)
+	for _, want := range []string{"network-weather monitor (unit)", "4 healthy", "top 2 routers", "group congestion"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

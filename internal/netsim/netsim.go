@@ -156,6 +156,7 @@ type Network struct {
 	tmRounds      *telemetry.Counter
 	tmRoundFlits  *telemetry.Histogram
 	tmRoundSecs   *telemetry.Histogram
+	tmMaxUtil     *telemetry.Gauge
 }
 
 // New creates a network simulator over machine d. The stream drives path
@@ -183,6 +184,7 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 		tmRounds:      telemetry.C(telemetry.MNetsimRounds),
 		tmRoundFlits:  telemetry.H(telemetry.MNetsimRoundFlits, telemetry.CountBuckets),
 		tmRoundSecs:   telemetry.H(telemetry.MNetsimRoundSecs, telemetry.SecondsBuckets),
+		tmMaxUtil:     telemetry.G(telemetry.GNetsimMaxUtil),
 	}
 	n.linkOnList = make([]bool, len(d.Links))
 	n.routerOnList = make([]bool, d.Cfg.NumRouters())
@@ -530,6 +532,7 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 	if utilN > 0 {
 		res.MeanLinkUtilization = utilSum / float64(utilN)
 	}
+	n.tmMaxUtil.Set(res.MaxLinkUtilization)
 
 	n.accumulateTransitCounters(duration)
 	n.accumulateEndpointCounters(flows, duration)

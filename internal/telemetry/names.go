@@ -21,6 +21,16 @@ const (
 	MNetsimRounds      = "netsim/rounds_total"             // counter: simulation rounds run
 	MNetsimRoundFlits  = "netsim/round_flits"              // histogram: offered flits per round
 	MNetsimRoundSecs   = "netsim/round_seconds"            // histogram: wall time per round
+	GNetsimMaxUtil     = "netsim/max_link_utilization"     // gauge: max link utilization of the last routed round
+
+	// internal/monitor — the streaming network-weather monitor.
+	MMonitorSamples   = "monitor/samples_total"         // counter: healthy observations consumed
+	MMonitorEvents    = "monitor/events_total"          // counter: anomaly events emitted
+	GMonitorHot       = "monitor/hot_routers"           // gauge: routers currently flagged hot
+	GMonitorCongested = "monitor/congested_groups"      // gauge: groups currently over the stall threshold
+	GMonitorMaxStall  = "monitor/max_group_stall_ratio" // gauge: max smoothed per-group stall ratio
+	GMonitorGapFrac   = "monitor/gap_fraction"          // gauge: missing / (missing+healthy) observations
+	GMonitorLastT     = "monitor/last_sample_t"         // gauge: simulated time of the last healthy observation
 
 	// internal/cluster — the campaign driver.
 	MClusterRuns      = "cluster/runs_total"               // counter: controlled runs completed
@@ -67,7 +77,8 @@ const (
 // test requires each to appear in docs/OBSERVABILITY.md.
 var AllMetricNames = []string{
 	MEngineMaps, MEngineShards, MEngineShardWait, MEngineShardRun, MEngineMapSeconds, GEngineWorkers,
-	MNetsimCacheHits, MNetsimCacheMisses, MNetsimCacheInval, MNetsimRounds, MNetsimRoundFlits, MNetsimRoundSecs,
+	MNetsimCacheHits, MNetsimCacheMisses, MNetsimCacheInval, MNetsimRounds, MNetsimRoundFlits, MNetsimRoundSecs, GNetsimMaxUtil,
+	MMonitorSamples, MMonitorEvents, GMonitorHot, GMonitorCongested, GMonitorMaxStall, GMonitorGapFrac, GMonitorLastT,
 	MClusterRuns, MClusterDrained, MClusterRequeues, MClusterAbandoned, MClusterRounds, MClusterRunSecs, MClusterMergeSecs,
 	MLDMSSamples,
 	MCacheHits, MCacheMisses, MCacheReadBytes, MCacheWriteBytes, MCacheLoadSecs, MCacheSaveSecs,

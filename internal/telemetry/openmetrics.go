@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes a registry metric name into the Prometheus data model:
+// [a-zA-Z_:][a-zA-Z0-9_:]*. The repository's slash-separated names become
+// underscore-separated ("cluster/runs_total" → "cluster_runs_total").
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (shortest exact
+// decimal; no exponent surprises for integers).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4, which OpenMetrics scrapers also ingest), ending
+// with the OpenMetrics "# EOF" terminator: counters and gauges as single
+// samples, histograms as cumulative le-labeled buckets plus _sum and
+// _count. Metric families are sorted by name so the output is stable for
+// diffing and testing.
+func (s *Snapshot) WriteOpenMetrics(w io.Writer) error {
+	// Collect families first: registry names are unique per kind, but two
+	// kinds could sanitize to the same Prometheus name; suffix a collision
+	// rather than emit a duplicate family.
+	type family struct {
+		name  string
+		lines []string
+		typ   string
+	}
+	var fams []family
+	seen := map[string]bool{}
+	uniq := func(n string) string {
+		for seen[n] {
+			n += "_"
+		}
+		seen[n] = true
+		return n
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := uniq(promName(n))
+		fams = append(fams, family{pn, []string{fmt.Sprintf("%s %d", pn, s.Counters[n])}, "counter"})
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := uniq(promName(n))
+		fams = append(fams, family{pn, []string{fmt.Sprintf("%s %s", pn, promFloat(s.Gauges[n]))}, "gauge"})
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := uniq(promName(n))
+		lines := make([]string, 0, len(h.Bounds)+3)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", pn, promFloat(bound), cum))
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", pn, h.Count),
+			fmt.Sprintf("%s_sum %s", pn, promFloat(h.Sum)),
+			fmt.Sprintf("%s_count %d", pn, h.Count),
+		)
+		fams = append(fams, family{pn, lines, "histogram"})
+	}
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -29,6 +29,45 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the fixed buckets, the way histogram_quantile does: the estimate
+// assumes observations spread uniformly inside their bucket, so its error
+// is bounded by the bucket width. An estimate landing in the overflow
+// bucket returns the last bound (there is no finite upper edge to
+// interpolate toward). Returns 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, ci := range h.Counts {
+		c := float64(ci)
+		if cum+c >= rank && c > 0 {
+			if i == len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(h.Bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a registry's full frozen state, as serialized by the CLIs'
 // -telemetry flag. It round-trips through JSON.
 type Snapshot struct {
@@ -216,11 +255,13 @@ func (s *Snapshot) Summary() string {
 		h := s.Histograms[n]
 		// only time-valued histograms get duration formatting
 		if strings.Contains(n, "second") {
-			fmt.Fprintf(&b, "  %-36s n=%-7d mean=%s total=%s\n",
-				n, h.Count, fmtSeconds(h.Mean()), fmtSeconds(h.Sum))
+			fmt.Fprintf(&b, "  %-36s n=%-7d mean=%s p50=%s p95=%s p99=%s total=%s\n",
+				n, h.Count, fmtSeconds(h.Mean()),
+				fmtSeconds(h.Quantile(0.50)), fmtSeconds(h.Quantile(0.95)), fmtSeconds(h.Quantile(0.99)),
+				fmtSeconds(h.Sum))
 		} else {
-			fmt.Fprintf(&b, "  %-36s n=%-7d mean=%.4g total=%.4g\n",
-				n, h.Count, h.Mean(), h.Sum)
+			fmt.Fprintf(&b, "  %-36s n=%-7d mean=%.4g p50=%.4g p95=%.4g p99=%.4g total=%.4g\n",
+				n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Sum)
 		}
 	}
 	b.WriteString(s.Flame())

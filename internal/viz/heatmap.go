@@ -1,0 +1,148 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a row × column matrix as a colored grid — used for the
+// monitor's per-group × time congestion view. Values[r][c] pairs Rows[r]
+// with X[c]; NaN cells (no samples in that bin) render as a neutral gray.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int
+
+	Rows   []string    // row labels, rendered top to bottom
+	X      []float64   // column coordinates (e.g. bin start times)
+	Values [][]float64 // Values[row][col]; NaN = no data
+}
+
+// NewHeatmap returns an 800×450 heatmap over the given matrix.
+func NewHeatmap(title, xlabel, ylabel string, rows []string, x []float64, values [][]float64) *Heatmap {
+	return &Heatmap{Title: title, XLabel: xlabel, YLabel: ylabel, W: 800, H: 450,
+		Rows: rows, X: x, Values: values}
+}
+
+// heatColor maps a normalized value in [0,1] onto a white→orange→red ramp.
+func heatColor(v float64) string {
+	stops := [][3]float64{{255, 255, 204}, {253, 141, 60}, {189, 0, 38}}
+	if v <= 0 {
+		return rgb(stops[0])
+	}
+	if v >= 1 {
+		return rgb(stops[2])
+	}
+	seg, frac := 0, v*2
+	if frac > 1 {
+		seg, frac = 1, frac-1
+	}
+	a, b := stops[seg], stops[seg+1]
+	return rgb([3]float64{
+		a[0] + frac*(b[0]-a[0]),
+		a[1] + frac*(b[1]-a[1]),
+		a[2] + frac*(b[2]-a[2]),
+	})
+}
+
+func rgb(c [3]float64) string {
+	return fmt.Sprintf("#%02x%02x%02x", int(c[0]), int(c[1]), int(c[2]))
+}
+
+// bounds returns the finite value range (0, 1 when every cell is NaN).
+func (h *Heatmap) bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// SVG renders the heatmap.
+func (h *Heatmap) SVG() string {
+	const mL, mR, mT, mB = 70, 70, 40, 50
+	nr, nc := len(h.Rows), len(h.X)
+	iw := float64(h.W - mL - mR)
+	ih := float64(h.H - mT - mB)
+	lo, hi := h.bounds()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", h.W, h.H)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", h.W, h.H)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", h.W/2, esc(h.Title))
+	if nr == 0 || nc == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">(no data)</text>`+"\n", h.W/2, h.H/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	cw := iw / float64(nc)
+	ch := ih / float64(nr)
+	for r := 0; r < nr; r++ {
+		row := h.Values[r]
+		for c := 0; c < nc && c < len(row); c++ {
+			x := float64(mL) + float64(c)*cw
+			y := float64(mT) + float64(r)*ch
+			fill := "#eeeeee" // no data
+			if !math.IsNaN(row[c]) {
+				fill = heatColor((row[c] - lo) / (hi - lo))
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x, y, cw+0.5, ch+0.5, fill)
+		}
+	}
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#888"/>`+"\n", mL, mT, iw, ih)
+
+	// row labels: thin out when there are too many to read
+	stride := 1
+	for nr/stride > 36 {
+		stride++
+	}
+	for r := 0; r < nr; r += stride {
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			mL-6, float64(mT)+(float64(r)+0.5)*ch+3, esc(h.Rows[r]))
+	}
+	// x ticks on column coordinates
+	x0, x1 := h.X[0], h.X[nc-1]
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	for _, t := range ticks(x0, x1, 6) {
+		px := float64(mL) + (t-x0)/(x1-x0)*iw
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, float64(mT)+ih+16, num(t))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		mL+int(iw/2), h.H-10, esc(h.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mT+int(ih/2), mT+int(ih/2), esc(h.YLabel))
+
+	// color legend on the right
+	const steps = 24
+	lh := ih / steps
+	lx := float64(h.W - mR + 16)
+	for i := 0; i < steps; i++ {
+		v := 1 - float64(i)/(steps-1)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="14" height="%.2f" fill="%s"/>`+"\n",
+			lx, float64(mT)+float64(i)*lh, lh+0.5, heatColor(v))
+	}
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="14" height="%.0f" fill="none" stroke="#888"/>`+"\n", lx, mT, ih)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="start">%s</text>`+"\n", lx+18, mT+8, num(hi))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" font-size="10" text-anchor="start">%s</text>`+"\n", lx+18, float64(mT)+ih, num(lo))
+	b.WriteString("</svg>\n")
+	return b.String()
+}

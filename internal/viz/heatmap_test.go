@@ -1,0 +1,64 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapSVG(t *testing.T) {
+	rows := []string{"g0", "g1"}
+	x := []float64{0, 900, 1800}
+	values := [][]float64{
+		{0.1, 0.5, 0.9},
+		{0.2, math.NaN(), 0.4},
+	}
+	h := NewHeatmap("Congestion", "time (s)", "group", rows, x, values)
+	svg := h.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("output is not a complete SVG document")
+	}
+	for _, want := range []string{"Congestion", "time (s)", "group", "g0", "g1"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 5 data cells (one NaN still renders, in gray) + legend + frames.
+	if n := strings.Count(svg, "<rect"); n < 6+24 {
+		t.Errorf("SVG has %d rects, want at least %d", n, 6+24)
+	}
+	if !strings.Contains(svg, "#eeeeee") {
+		t.Error("NaN cell did not render as the no-data gray")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	h := NewHeatmap("empty", "x", "y", nil, nil, nil)
+	svg := h.SVG()
+	if !strings.Contains(svg, "(no data)") {
+		t.Error("empty heatmap should render a no-data message")
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if got := heatColor(0); got != "#ffffcc" {
+		t.Errorf("heatColor(0) = %s, want #ffffcc", got)
+	}
+	if got := heatColor(1); got != "#bd0026" {
+		t.Errorf("heatColor(1) = %s, want #bd0026", got)
+	}
+	if got := heatColor(-5); got != heatColor(0) {
+		t.Error("values below 0 should clamp to the low endpoint")
+	}
+	if got := heatColor(7); got != heatColor(1) {
+		t.Error("values above 1 should clamp to the high endpoint")
+	}
+}
+
+func TestHeatmapBoundsAllNaN(t *testing.T) {
+	h := &Heatmap{Values: [][]float64{{math.NaN(), math.NaN()}}}
+	lo, hi := h.bounds()
+	if lo != 0 || hi != 1 {
+		t.Errorf("bounds() on all-NaN = (%v, %v), want (0, 1)", lo, hi)
+	}
+}
