@@ -5,7 +5,7 @@ CACHE ?= testdata/campaign.gob
 DAYS ?= 130
 SEED ?= 42
 
-.PHONY: all build test vet race lint-docs verify bench bench-engine campaign report plots csv clean
+.PHONY: all build test vet race lint-docs verify bench bench-engine bench-serve campaign report plots csv clean
 
 all: build vet test
 
@@ -41,6 +41,12 @@ bench:
 # host's core count (a 1-CPU container reports ~1.0x by construction).
 bench-engine:
 	$(GO) run ./cmd/dfbench -days 30 -seed $(SEED) -workers 4 -out BENCH_engine.json
+
+# Serving benchmark: train a small model set, start dfserved, drive it at
+# a target rate with the built-in load generator (RPS/DURATION env vars to
+# tune), drain with SIGTERM, write BENCH_serve.json.
+bench-serve:
+	sh scripts/bench_serve.sh
 
 # Simulate the four-month controlled-experiment campaign.
 campaign:

@@ -12,14 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/core"
 	"dragonvar/internal/engine"
 	"dragonvar/internal/report"
+	"dragonvar/internal/sigctx"
 	"dragonvar/internal/stats"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
@@ -69,7 +68,7 @@ func main() {
 
 	// SIGINT cancels the campaign gracefully; completed runs are flushed to
 	// the cache (when one is configured) as a partial dataset
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := sigctx.WithShutdown(context.Background())
 	defer stop()
 
 	start := time.Now()

@@ -25,15 +25,14 @@ import (
 	"io"
 	"math"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 	"time"
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/engine"
 	"dragonvar/internal/export"
 	"dragonvar/internal/monitor"
+	"dragonvar/internal/sigctx"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 	"dragonvar/internal/traceio"
@@ -136,7 +135,7 @@ func cmdRecord(args []string) error {
 	t1 := t0 + *hours*3600
 	// SIGINT stops the recorder at a sample boundary and flushes; the log
 	// on disk stays readable, just shorter than requested
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := sigctx.WithShutdown(context.Background())
 	defer stop()
 	start := time.Now()
 	n, err := c.RecordLDMSCtx(ctx, w, t0, t1, *interval)

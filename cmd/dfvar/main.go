@@ -23,8 +23,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"dragonvar/internal/cluster"
@@ -33,6 +31,7 @@ import (
 	"dragonvar/internal/experiments"
 	"dragonvar/internal/export"
 	"dragonvar/internal/monitor"
+	"dragonvar/internal/sigctx"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
@@ -45,7 +44,7 @@ func main() {
 	// first SIGINT/SIGTERM cancels ctx for a graceful shutdown (in-flight
 	// campaign results are flushed as a partial cache); a second one kills
 	// the process the default way
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := sigctx.WithShutdown(context.Background())
 	defer stop()
 	var err error
 	switch os.Args[1] {

@@ -1,0 +1,64 @@
+package gbr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"dragonvar/internal/rng"
+)
+
+// TestGobRoundTripByteIdentical is the persistence contract of the serving
+// stack: fit → encode → decode must yield a model whose predictions are
+// byte-identical to the in-memory model's, and re-encoding the decoded
+// model must reproduce the same bytes.
+func TestGobRoundTripByteIdentical(t *testing.T) {
+	s := rng.New(7)
+	x, y := friedmanish(400, 0.3, s)
+	m := Fit(x, y, nil, nil, Options{NumTrees: 25}, s)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	var back Model
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < x.Rows; i++ {
+		want := m.Predict(x.Row(i))
+		got := back.Predict(x.Row(i))
+		if got != want { // exact float64 equality, not a tolerance
+			t.Fatalf("row %d: loaded model predicts %v, in-memory %v", i, got, want)
+		}
+	}
+	if back.NumTrees() != m.NumTrees() {
+		t.Fatalf("loaded model has %d trees, want %d", back.NumTrees(), m.NumTrees())
+	}
+	imp, impBack := m.Importance(), back.Importance()
+	for i := range imp {
+		if imp[i] != impBack[i] {
+			t.Fatalf("importance %d: %v != %v", i, impBack[i], imp[i])
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := gob.NewEncoder(&buf2).Encode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-encoding a decoded model changed the bytes")
+	}
+}
+
+// TestGobDecodeRejectsCorruptTrees exercises the wire-form validation: a
+// truncated or inconsistent payload must error, not panic later.
+func TestGobDecodeRejectsCorruptTrees(t *testing.T) {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader([]byte("not a gob"))).Decode(&m); err == nil {
+		t.Fatal("decoding garbage succeeded")
+	}
+}

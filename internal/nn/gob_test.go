@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"dragonvar/internal/rng"
+)
+
+// TestGobRoundTripByteIdentical is the persistence contract of the serving
+// stack: train → encode → decode must yield a forecaster whose predictions
+// are byte-identical to the in-memory model's (exact float64 equality),
+// and re-encoding must reproduce the same bytes.
+func TestGobRoundTripByteIdentical(t *testing.T) {
+	s := rng.New(11)
+	samples := mkSamples(120, 6, 4, 0.1, s)
+	f := Train(samples, Config{Epochs: 5, UseAttention: true}, s)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	var back Forecaster
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	m, h := back.WindowShape()
+	if m != 6 || h != 4 {
+		t.Fatalf("loaded window shape %d×%d, want 6×4", m, h)
+	}
+	want := f.PredictAll(samples)
+	got := back.PredictAll(samples)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: loaded model predicts %v, in-memory %v", i, got[i], want[i])
+		}
+	}
+	aw, ab := f.AttentionWeights(samples[0].Steps), back.AttentionWeights(samples[0].Steps)
+	for i := range aw {
+		if aw[i] != ab[i] {
+			t.Fatalf("attention weight %d: %v != %v", i, ab[i], aw[i])
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := gob.NewEncoder(&buf2).Encode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-encoding a decoded forecaster changed the bytes")
+	}
+}
+
+// TestGobDecodeValidatesLayout corrupts the parameter vector length and
+// expects a clear error instead of an out-of-range panic at predict time.
+func TestGobDecodeValidatesLayout(t *testing.T) {
+	s := rng.New(12)
+	f := Train(mkSamples(40, 4, 3, 0.1, s), Config{Epochs: 2}, s)
+	w := forecasterWire{
+		Cfg: f.cfg, M: f.m, H: f.h,
+		Params:    f.params[:len(f.params)-3], // truncated
+		FeatMu:    f.featMu,
+		FeatSigma: f.featSigma,
+		YMu:       f.yMu, YSigma: f.ySigma,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	var back Forecaster
+	if err := back.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decoding a truncated parameter vector succeeded")
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"dragonvar/internal/nn"
+	"dragonvar/internal/telemetry"
+)
+
+// errStopped is returned by predict when the batcher has been stopped
+// (the server is past drain and cannot serve model calls anymore).
+var errStopped = errors.New("serve: batcher stopped")
+
+// forecastReq is one caller waiting for a prediction. reply is buffered
+// (capacity 1) so the batch loop never blocks on a caller that gave up.
+type forecastReq struct {
+	steps [][]float64
+	reply chan float64
+}
+
+// batcher coalesces concurrent forecast requests into single model calls:
+// the first request of a batch opens a short collection window, everything
+// that arrives within it (up to maxBatch) is predicted in one
+// nn.PredictAll pass, and the results fan back out. Inference is read-only
+// on the trained model, so one batched call is equivalent to n sequential
+// Predicts — batching changes latency and throughput, never values.
+type batcher struct {
+	model    *nn.Forecaster
+	in       chan forecastReq
+	stopped  chan struct{} // closed by the loop on exit
+	maxBatch int
+	window   time.Duration
+
+	batches   *telemetry.Counter
+	batchSize *telemetry.Histogram
+}
+
+// newBatcher starts the collection loop.
+func newBatcher(model *nn.Forecaster, maxBatch int, window time.Duration) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+	b := &batcher{
+		model:     model,
+		in:        make(chan forecastReq, maxBatch),
+		stopped:   make(chan struct{}),
+		maxBatch:  maxBatch,
+		window:    window,
+		batches:   telemetry.C(telemetry.MServeBatches),
+		batchSize: telemetry.H(telemetry.MServeBatchSize, telemetry.CountBuckets),
+	}
+	go b.loop()
+	return b
+}
+
+// predict submits one window and waits for its batch to complete. The
+// context bounds the wait; an abandoned request still gets its slot in the
+// batch but nobody reads the buffered reply.
+func (b *batcher) predict(ctx context.Context, steps [][]float64) (float64, error) {
+	req := forecastReq{steps: steps, reply: make(chan float64, 1)}
+	select {
+	case b.in <- req:
+	case <-b.stopped:
+		return 0, errStopped
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case v := <-req.reply:
+		return v, nil
+	case <-b.stopped:
+		// the loop flushes every accepted request before exiting, so a
+		// close can still race a late reply: prefer the reply
+		select {
+		case v := <-req.reply:
+			return v, nil
+		default:
+			return 0, errStopped
+		}
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// stop shuts the intake down and waits for the loop to flush accepted
+// requests. Call only after in-flight HTTP handlers have drained.
+func (b *batcher) stop() {
+	close(b.in)
+	<-b.stopped
+}
+
+// loop is the collection goroutine.
+func (b *batcher) loop() {
+	defer close(b.stopped)
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := append(make([]forecastReq, 0, b.maxBatch), first)
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r, ok := <-b.in:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+
+		samples := make([]nn.Sample, len(batch))
+		for i, r := range batch {
+			samples[i] = nn.Sample{Steps: r.steps}
+		}
+		preds := b.model.PredictAll(samples)
+		for i, r := range batch {
+			r.reply <- preds[i] // buffered; never blocks
+		}
+		b.batches.Inc()
+		b.batchSize.Observe(float64(len(batch)))
+	}
+}

@@ -1,0 +1,441 @@
+// Package serve is the online inference layer of the reproduction: an
+// HTTP/JSON service that answers forecast, deviation, and advisor queries
+// from models trained on campaign data and persisted in a modelstore
+// (internal/modelstore). It is the operational end the paper argues for
+// (§V, §VII): counter-driven predictions served to a resource manager from
+// live monitoring data, rather than recomputed inside one-shot CLI runs.
+//
+// The serving path is built for sustained traffic:
+//
+//   - a request-batching loop coalesces concurrent forecast requests into
+//     single matrix-sized model calls (batch.go);
+//   - an LRU prediction cache short-circuits repeated queries for the same
+//     input window (lru.go);
+//   - a concurrency limiter with a bounded wait queue sheds overload with
+//     429 (queue full) and 503 (draining) instead of collapsing;
+//   - every endpoint reports latency, inflight, queue-depth, and cache
+//     metrics through the internal/telemetry registry, exposed in
+//     OpenMetrics form on /metrics (docs/OBSERVABILITY.md);
+//   - Drain stops intake and waits for every admitted request to finish,
+//     so a SIGTERM never drops an in-flight response.
+//
+// Inference is read-only on the loaded models, so responses are
+// byte-identical at any concurrency, batch size, or cache state — the
+// serving-time extension of the repository's determinism contract.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dragonvar/internal/advisor"
+	"dragonvar/internal/gbr"
+	"dragonvar/internal/modelstore"
+	"dragonvar/internal/nn"
+	"dragonvar/internal/telemetry"
+)
+
+// maxBodyBytes bounds request payloads; a forecast window is a few
+// thousand floats, so 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+// Config assembles a server from loaded models. Any model may be nil; its
+// endpoints then answer 503 so a partially provisioned daemon still serves
+// what it has.
+type Config struct {
+	Forecaster   *nn.Forecaster
+	ForecastMeta modelstore.Meta // schema of the forecaster (M, K, FeatureNames)
+	ForecastID   string          // modelstore content id, surfaced on /v1/spec
+
+	GBR       *gbr.Model
+	GBRMeta   modelstore.Meta
+	GBRID     string
+	Adv       *advisor.Advisor
+	AdvisorID string
+
+	MaxInflight int           // concurrent executing requests; default 64
+	MaxQueue    int           // waiting requests beyond MaxInflight before 429; default 256
+	MaxBatch    int           // forecast requests per coalesced model call; default 64
+	BatchWindow time.Duration // batch collection window; default 2ms
+	CacheSize   int           // LRU prediction-cache entries; default 4096
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// Server is the inference service. Create with New, expose with Handler,
+// stop with Drain.
+type Server struct {
+	cfg  Config
+	m, h int // forecaster window shape (0 when no forecaster)
+
+	batcher *batcher
+	cache   *lru
+
+	sem     chan struct{}
+	waiting atomic.Int64
+
+	draining atomic.Bool
+	drainMu  sync.RWMutex // held shared by every admitted request
+
+	mux *http.ServeMux
+
+	reqs, errs, shed       *telemetry.Counter
+	cacheHits, cacheMisses *telemetry.Counter
+	inflight, drainG       *telemetry.Gauge
+	queueDepth             *telemetry.Histogram
+	latForecast            *telemetry.Histogram
+	latDeviation           *telemetry.Histogram
+	latBlame               *telemetry.Histogram
+}
+
+// New builds the server and starts its batching loop. Enable telemetry
+// before calling New: metric handles are captured here, at construction
+// time, like every other instrumented component.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		cache:       newLRU(cfg.CacheSize),
+		sem:         make(chan struct{}, cfg.MaxInflight),
+		reqs:        telemetry.C(telemetry.MServeRequests),
+		errs:        telemetry.C(telemetry.MServeErrors),
+		shed:        telemetry.C(telemetry.MServeShed),
+		cacheHits:   telemetry.C(telemetry.MServeCacheHits),
+		cacheMisses: telemetry.C(telemetry.MServeCacheMisses),
+		inflight:    telemetry.G(telemetry.GServeInflight),
+		drainG:      telemetry.G(telemetry.GServeDraining),
+		queueDepth:  telemetry.H(telemetry.MServeQueueDepth, telemetry.QueueDepthBuckets),
+		latForecast: telemetry.H(telemetry.MServeForecastSecs, telemetry.LatencyBuckets),
+		latDeviation: telemetry.H(telemetry.MServeDeviationSecs,
+			telemetry.LatencyBuckets),
+		latBlame: telemetry.H(telemetry.MServeBlameSecs, telemetry.LatencyBuckets),
+	}
+	if cfg.Forecaster != nil {
+		s.m, s.h = cfg.Forecaster.WindowShape()
+		s.batcher = newBatcher(cfg.Forecaster, cfg.MaxBatch, cfg.BatchWindow)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/spec", s.handleSpec)
+	s.mux.HandleFunc("/v1/forecast", s.limited(func() *telemetry.Histogram { return s.latForecast }, s.handleForecast))
+	s.mux.HandleFunc("/v1/deviation", s.limited(func() *telemetry.Histogram { return s.latDeviation }, s.handleDeviation))
+	s.mux.HandleFunc("/v1/advisor/blame", s.limited(func() *telemetry.Histogram { return s.latBlame }, s.handleBlame))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether a drain is in progress or complete.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain makes the server stop admitting API requests (new arrivals get
+// 503, /readyz flips to 503), waits until every already-admitted request
+// has finished, then stops the batching loop. Safe to call once; the
+// daemon calls it on SIGTERM before http.Server.Shutdown.
+func (s *Server) Drain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.drainG.Set(1)
+	// every admitted request holds drainMu.RLock for its lifetime; taking
+	// the write lock therefore blocks until the last one completes
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.batcher != nil {
+		s.batcher.stop()
+	}
+}
+
+// CacheLen returns the current prediction-cache entry count (for tests
+// and the spec endpoint).
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// apiError is the JSON error body every non-2xx API response carries.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON renders a 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// limited wraps an API handler with the admission pipeline: drain check,
+// bounded wait queue, concurrency semaphore, and latency accounting. The
+// histogram is fetched lazily so the wrapper can be built before New
+// finishes wiring metric handles.
+func (s *Server) limited(lat func() *telemetry.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+
+		// admission: a shared drain lock held for the request's lifetime.
+		// TryRLock fails only while Drain holds (or waits for) the write
+		// lock, at which point refusing is exactly the intent.
+		if s.draining.Load() || !s.drainMu.TryRLock() {
+			s.shed.Inc()
+			apiError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		defer s.drainMu.RUnlock()
+
+		// bounded queue: waiting counts requests parked on the semaphore
+		depth := s.waiting.Add(1)
+		if int(depth) > s.cfg.MaxQueue {
+			s.waiting.Add(-1)
+			s.shed.Inc()
+			apiError(w, http.StatusTooManyRequests, "overloaded: %d requests queued", depth-1)
+			return
+		}
+		s.queueDepth.Observe(float64(depth - 1))
+		select {
+		case s.sem <- struct{}{}:
+		case <-r.Context().Done():
+			s.waiting.Add(-1)
+			return // client went away while queued; nothing to answer
+		}
+		s.waiting.Add(-1)
+		s.inflight.Add(1)
+		s.reqs.Inc()
+		defer func() {
+			<-s.sem
+			s.inflight.Add(-1)
+			lat().ObserveSince(start)
+		}()
+
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		fn(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics serves the process's telemetry snapshot in the
+// Prometheus/OpenMetrics text exposition format — the same path the other
+// CLIs expose via -pprof.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.Active().Snapshot().WriteOpenMetrics(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// specResponse tells clients (and the load generator) what the daemon is
+// serving: the forecast window geometry and feature schemas.
+type specResponse struct {
+	Dataset           string   `json:"dataset,omitempty"`
+	Spec              string   `json:"spec,omitempty"`
+	M                 int      `json:"m"`
+	K                 int      `json:"k"`
+	WindowFeatures    []string `json:"window_features,omitempty"`
+	DeviationFeatures []string `json:"deviation_features,omitempty"`
+	ForecastModel     string   `json:"forecast_model,omitempty"`
+	DeviationModel    string   `json:"deviation_model,omitempty"`
+	AdvisorModel      string   `json:"advisor_model,omitempty"`
+	CacheEntries      int      `json:"cache_entries"`
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, specResponse{
+		Dataset:           s.cfg.ForecastMeta.Dataset,
+		Spec:              s.cfg.ForecastMeta.Spec,
+		M:                 s.m,
+		K:                 s.cfg.ForecastMeta.K,
+		WindowFeatures:    s.cfg.ForecastMeta.FeatureNames,
+		DeviationFeatures: s.cfg.GBRMeta.FeatureNames,
+		ForecastModel:     s.cfg.ForecastID,
+		DeviationModel:    s.cfg.GBRID,
+		AdvisorModel:      s.cfg.AdvisorID,
+		CacheEntries:      s.cache.len(),
+	})
+}
+
+// forecastRequest is the /v1/forecast payload: the per-step feature rows
+// of the last m steps, in the model's column order (see /v1/spec).
+type forecastRequest struct {
+	Window [][]float64 `json:"window"`
+}
+
+type forecastResponse struct {
+	Prediction float64 `json:"prediction"`
+	Cached     bool    `json:"cached"`
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.errs.Inc()
+		apiError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.cfg.Forecaster == nil {
+		s.errs.Inc()
+		apiError(w, http.StatusServiceUnavailable, "no forecaster loaded")
+		return
+	}
+	var req forecastRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errs.Inc()
+		apiError(w, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	if len(req.Window) != s.m {
+		s.errs.Inc()
+		apiError(w, http.StatusBadRequest, "window has %d steps, model wants %d", len(req.Window), s.m)
+		return
+	}
+	for i, row := range req.Window {
+		if len(row) != s.h {
+			s.errs.Inc()
+			apiError(w, http.StatusBadRequest, "window step %d has %d features, model wants %d", i, len(row), s.h)
+			return
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				s.errs.Inc()
+				apiError(w, http.StatusBadRequest, "window[%d][%d] is not finite", i, j)
+				return
+			}
+		}
+	}
+
+	key := windowHash(req.Window)
+	if pred, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		writeJSON(w, forecastResponse{Prediction: pred, Cached: true})
+		return
+	}
+	s.cacheMisses.Inc()
+	pred, err := s.batcher.predict(r.Context(), req.Window)
+	if err != nil {
+		s.errs.Inc()
+		apiError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.cache.put(key, pred)
+	writeJSON(w, forecastResponse{Prediction: pred, Cached: false})
+}
+
+// deviationRequest is the /v1/deviation payload: one step's mean-centered
+// counter deltas in Table II order (see /v1/spec deviation_features).
+type deviationRequest struct {
+	Features []float64 `json:"features"`
+}
+
+type deviationResponse struct {
+	Deviation float64 `json:"deviation"`
+}
+
+func (s *Server) handleDeviation(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.errs.Inc()
+		apiError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.cfg.GBR == nil {
+		s.errs.Inc()
+		apiError(w, http.StatusServiceUnavailable, "no deviation model loaded")
+		return
+	}
+	var req deviationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errs.Inc()
+		apiError(w, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	want := len(s.cfg.GBRMeta.FeatureNames)
+	if want == 0 {
+		want = len(s.cfg.GBR.Importance())
+	}
+	if len(req.Features) != want {
+		s.errs.Inc()
+		apiError(w, http.StatusBadRequest, "%d features, model wants %d", len(req.Features), want)
+		return
+	}
+	for j, v := range req.Features {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s.errs.Inc()
+			apiError(w, http.StatusBadRequest, "features[%d] is not finite", j)
+			return
+		}
+	}
+	writeJSON(w, deviationResponse{Deviation: s.cfg.GBR.Predict(req.Features)})
+}
+
+// blameRequest is the /v1/advisor/blame payload: the users currently
+// running on the system. A GET with no body returns the full blame list.
+type blameRequest struct {
+	RunningUsers []string `json:"running_users"`
+}
+
+type blameResponse struct {
+	Delay         bool     `json:"delay"`
+	BlamedPresent []string `json:"blamed_present"`
+	BlameListSize int      `json:"blame_list_size"`
+	Blamed        []string `json:"blamed,omitempty"` // full list, GET only
+}
+
+func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Adv == nil {
+		s.errs.Inc()
+		apiError(w, http.StatusServiceUnavailable, "no advisor loaded")
+		return
+	}
+	blamed := s.cfg.Adv.Blamed()
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, blameResponse{BlameListSize: len(blamed), Blamed: blamed})
+	case http.MethodPost:
+		var req blameRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.errs.Inc()
+			apiError(w, http.StatusBadRequest, "bad payload: %v", err)
+			return
+		}
+		delay, present := s.cfg.Adv.ShouldDelay(req.RunningUsers)
+		if present == nil {
+			present = []string{}
+		}
+		writeJSON(w, blameResponse{Delay: delay, BlamedPresent: present, BlameListSize: len(blamed)})
+	default:
+		s.errs.Inc()
+		apiError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}

@@ -1,0 +1,22 @@
+// Package sigctx centralizes the shutdown-signal contract shared by every
+// command in the repository: the first SIGINT or SIGTERM cancels the
+// returned context for a graceful shutdown (campaigns flush partial
+// caches, daemons drain in-flight requests), and a second signal kills
+// the process the default way.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// WithShutdown derives a context that is cancelled on the first
+// SIGINT/SIGTERM. The returned stop releases the signal registration —
+// defer it so a second signal after cancellation (or any signal after a
+// clean exit) terminates the process immediately instead of being
+// swallowed.
+func WithShutdown(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

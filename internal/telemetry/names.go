@@ -57,6 +57,34 @@ const (
 	MNNFitSecs  = "ml/nn_fit_seconds"   // histogram: per-training wall time
 	MRFEFolds   = "ml/rfe_folds_total"  // counter: RFE cross-validation folds run
 	MRFERounds  = "ml/rfe_rounds_total" // counter: RFE elimination iterations across folds
+
+	// internal/serve — the forecast-serving daemon (cmd/dfserved).
+	MServeRequests      = "serve/requests_total"    // counter: API requests admitted past the limiter
+	MServeErrors        = "serve/errors_total"      // counter: 4xx/5xx API responses (bad payloads, internal errors)
+	MServeShed          = "serve/shed_total"        // counter: requests shed with 429 (queue full) or 503 (draining)
+	MServeForecastSecs  = "serve/forecast_seconds"  // histogram: /v1/forecast end-to-end latency
+	MServeDeviationSecs = "serve/deviation_seconds" // histogram: /v1/deviation end-to-end latency
+	MServeBlameSecs     = "serve/blame_seconds"     // histogram: /v1/advisor/blame end-to-end latency
+	MServeQueueDepth    = "serve/queue_depth"       // histogram: waiting requests sampled at each admission
+	GServeInflight      = "serve/inflight"          // gauge: requests currently holding an execution slot
+	GServeDraining      = "serve/draining"          // gauge: 1 while graceful drain is in progress
+	MServeCacheHits     = "serve/cache_hits"        // counter: forecast LRU prediction-cache hits
+	MServeCacheMisses   = "serve/cache_misses"      // counter: forecast LRU prediction-cache misses
+	MServeBatches       = "serve/batches_total"     // counter: coalesced model batch calls
+	MServeBatchSize     = "serve/batch_size"        // histogram: forecast requests coalesced per batch call
+)
+
+// Serving bucket layouts. Like the layouts in telemetry.go these are fixed
+// so snapshots from different daemons aggregate bucket-by-bucket.
+var (
+	// LatencyBuckets spans 50 µs … 10 s with ~2.5× steps — tight enough to
+	// read p99 on a sub-millisecond cache hit and wide enough for a cold
+	// batched model call under queueing.
+	LatencyBuckets = []float64{5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+		2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// QueueDepthBuckets spans 0 … 4096 in powers of two (0 gets its own
+	// bucket: an empty queue is the common, healthy case).
+	QueueDepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 )
 
 // Span names. Dynamic suffixes are limited to the documented artifact
@@ -83,6 +111,10 @@ var AllMetricNames = []string{
 	MLDMSSamples,
 	MCacheHits, MCacheMisses, MCacheReadBytes, MCacheWriteBytes, MCacheLoadSecs, MCacheSaveSecs,
 	MGBRFits, MGBRFitSecs, MNNFits, MNNFitSecs, MRFEFolds, MRFERounds,
+	MServeRequests, MServeErrors, MServeShed,
+	MServeForecastSecs, MServeDeviationSecs, MServeBlameSecs, MServeQueueDepth,
+	GServeInflight, GServeDraining,
+	MServeCacheHits, MServeCacheMisses, MServeBatches, MServeBatchSize,
 }
 
 // AllSpanNames lists every fixed span name plus the report prefix.

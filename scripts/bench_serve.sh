@@ -1,0 +1,59 @@
+#!/bin/sh
+# Serving benchmark: train (or load) a small model set, start dfserved,
+# drive it with the built-in load generator at a target request rate,
+# then drain the daemon with SIGTERM and require a clean exit. Writes
+# BENCH_serve.json (latency histogram + throughput) in the repo root.
+#
+# Tunables: RPS (default 500), DURATION (default 10s), ADDR, WORKDIR.
+set -eu
+
+RPS=${RPS:-500}
+DURATION=${DURATION:-10s}
+ADDR=${ADDR:-127.0.0.1:18700}
+WORKDIR=${WORKDIR:-$(mktemp -d)}
+OUT=${OUT:-BENCH_serve.json}
+
+echo "bench-serve: building dfserved..." >&2
+go build -o "$WORKDIR/dfserved" ./cmd/dfserved
+
+echo "bench-serve: starting daemon on $ADDR (training on first run)..." >&2
+"$WORKDIR/dfserved" -small -fast -days 2 \
+    -cache "$WORKDIR/campaign.gob" -store "$WORKDIR/models" \
+    -addr "$ADDR" >"$WORKDIR/serve.log" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+ready=0
+for _ in $(seq 1 180); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "bench-serve: daemon died during startup:" >&2
+        cat "$WORKDIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+if [ "$ready" != 1 ]; then
+    echo "bench-serve: daemon never became ready:" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+
+echo "bench-serve: driving $RPS rps for $DURATION..." >&2
+"$WORKDIR/dfserved" -loadgen -target "http://$ADDR" \
+    -rps "$RPS" -duration "$DURATION" -out "$OUT"
+
+echo "bench-serve: draining daemon with SIGTERM..." >&2
+kill -TERM "$PID"
+if wait "$PID"; then
+    trap - EXIT
+else
+    echo "bench-serve: daemon did not exit cleanly on SIGTERM:" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+
+echo "bench-serve: wrote $OUT" >&2
