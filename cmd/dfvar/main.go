@@ -14,6 +14,11 @@
 //
 //	dfvar census [-small]
 //	    Print the machine census (Figure 2) without simulating anything.
+//
+//	dfvar campaign -distribute ADDR / dfvar worker -join URL
+//	    Distributed campaign execution: the coordinator serves work units
+//	    to worker processes with lease-based re-dispatch and checkpoint
+//	    resume (internal/dist); output is byte-identical to a local run.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/core"
+	"dragonvar/internal/dist"
 	"dragonvar/internal/engine"
 	"dragonvar/internal/experiments"
 	"dragonvar/internal/export"
@@ -50,6 +56,8 @@ func main() {
 	switch os.Args[1] {
 	case "campaign":
 		err = cmdCampaign(ctx, os.Args[2:])
+	case "worker":
+		err = cmdWorker(ctx, os.Args[2:])
 	case "report":
 		err = cmdReport(ctx, os.Args[2:])
 	case "census":
@@ -103,6 +111,8 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [-monitor FILE|-]
+                 [-distribute ADDR] [-dist-checkpoint FILE] [-dist-lease DUR]
+  dfvar worker   -join URL [-name NAME] [-telemetry FILE] [-pprof ADDR]
   dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [-monitor FILE|-] [artifact ...]
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
@@ -117,7 +127,11 @@ fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
   on exit; -pprof ADDR serves net/http/pprof plus live /telemetry and /metrics
   (OpenMetrics) endpoints; -monitor FILE streams network-weather anomaly events
   as JSONL while the campaign simulates ("-" = stderr) and prints a weather
-  report. All three are observation-only: output bytes are identical on or off.`)
+  report. All three are observation-only: output bytes are identical on or off.
+-distribute ADDR serves a campaign to "dfvar worker" processes instead of
+  simulating locally: workers lease runs, crashed or hung workers are detected
+  and their work re-dispatched, and with -dist-checkpoint a killed coordinator
+  resumes where it stopped. The result is byte-identical to a local run.`)
 }
 
 // commonFlags defines the flags shared by campaign and report.
@@ -252,6 +266,12 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var c commonFlags
 	addCommon(fs, &c)
+	distribute := fs.String("distribute", "",
+		"coordinate a distributed campaign on this listen address (e.g. :9631) instead of simulating locally; run \"dfvar worker -join\" processes against it")
+	distCheckpoint := fs.String("dist-checkpoint", "",
+		"spill completed work units to this file so a killed coordinator resumes instead of restarting (removed on success)")
+	distLease := fs.Duration("dist-lease", 0,
+		"distributed work-unit lease duration before re-dispatch (default 2m)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -262,6 +282,12 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	defer flush()
 
 	ccfg := c.clusterConfig()
+	if *distribute != "" {
+		if c.monitor != "" {
+			return usageError{fmt.Errorf("campaign: -monitor observes local simulation and cannot be combined with -distribute")}
+		}
+		return runDistributed(ctx, c, ccfg, *distribute, *distCheckpoint, *distLease)
+	}
 	finish, err := c.attachMonitor(&ccfg)
 	if err != nil {
 		return err
@@ -286,6 +312,89 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		fmt.Printf("cached to %s\n", c.cache)
 	}
 	return nil
+}
+
+// runDistributed executes the campaign through the internal/dist
+// coordinator: workers lease units over HTTP, crashes re-dispatch, and the
+// merged result — byte-identical to a local run — lands in the same cache.
+func runDistributed(ctx context.Context, c commonFlags, ccfg cluster.Config, addr, checkpoint string, lease time.Duration) error {
+	co, err := dist.NewCoordinator(dist.Config{
+		Cluster:        ccfg,
+		Addr:           addr,
+		CheckpointPath: checkpoint,
+		Lease:          lease,
+		Log:            os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "coordinating %d work units on %s; join workers with:\n  dfvar worker -join http://%s\n",
+		co.NumUnits(), co.Addr(), co.Addr())
+	start := time.Now()
+	camp, err := co.Run(ctx)
+	if err != nil {
+		// mirror the local path: an interrupted campaign still flushes
+		// completed runs as an inspectable partial cache
+		if camp != nil && camp.Partial && c.cache != "" && camp.TotalRuns() > 0 {
+			if serr := camp.Save(c.cache); serr != nil {
+				fmt.Fprintf(os.Stderr, "dfvar: could not flush partial campaign: %v\n", serr)
+			} else {
+				fmt.Fprintf(os.Stderr, "dfvar: interrupted; flushed partial campaign (%d runs) to %s\n",
+					camp.TotalRuns(), c.cache)
+			}
+		}
+		return err
+	}
+	fmt.Printf("campaign: %d runs across %d datasets in %v (distributed)\n",
+		camp.TotalRuns(), len(camp.Datasets), time.Since(start).Round(time.Second))
+	for _, ds := range camp.Datasets {
+		fmt.Printf("  %-14s %d runs\n", ds.Name, len(ds.Runs))
+	}
+	if camp.Faults != "" {
+		fmt.Printf("faults %q: %d requeues, %.2f%% of samples lost to dropouts\n",
+			camp.Faults, camp.TotalRequeues(), 100*camp.GapFraction())
+	}
+	if c.cache != "" {
+		if err := camp.Save(c.cache); err != nil {
+			return fmt.Errorf("cache campaign: %w", err)
+		}
+		fmt.Printf("cached to %s\n", c.cache)
+	}
+	return nil
+}
+
+// cmdWorker joins a coordinator and simulates leased work units until the
+// campaign completes. SIGTERM/SIGINT drain gracefully: the in-flight unit
+// is finished and delivered, no new lease is taken.
+func cmdWorker(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	join := fs.String("join", "", "coordinator URL, e.g. http://host:9631 (required)")
+	name := fs.String("name", "", "worker label in coordinator logs (default host:pid)")
+	telemetryPath := fs.String("telemetry", "",
+		"write a telemetry snapshot (docs/OBSERVABILITY.md) to this JSON file on exit")
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof and live /telemetry + /metrics on this address")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *join == "" {
+		return usageError{errors.New("worker: -join URL is required")}
+	}
+	c := commonFlags{telemetry: *telemetryPath, pprof: *pprofAddr}
+	flush, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
+	defer flush()
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{Coord: *join, Name: *name, Log: os.Stderr})
+	if err != nil {
+		return err
+	}
+	return w.Run(ctx)
 }
 
 func cmdCensus(args []string) error {

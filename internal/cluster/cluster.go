@@ -257,6 +257,80 @@ type plan struct {
 	requeues int
 }
 
+// UnitOutcome is the result of executing one work unit (one plan index):
+// either a completed run, or a drain marker saying the run lost its nodes
+// to a fault at DrainAt (the requeue decision is the campaign driver's, not
+// the executor's). The zero value means "never executed" — the driver
+// skips it, which only happens on cancellation.
+type UnitOutcome struct {
+	Run     *dataset.Run
+	Drained bool
+	DrainAt float64
+}
+
+// PlanOverride captures the mutable state of a requeued plan — the new
+// submission window, the new allocation, and the requeue count — so a
+// remote process holding the same deterministic schedule can reproduce the
+// campaign driver's plan list exactly. Overrides accumulate monotonically
+// over a campaign; Requeues orders overrides for the same unit.
+type PlanOverride struct {
+	Unit     int               `json:"unit"`
+	Start    float64           `json:"start"`
+	EstEnd   float64           `json:"est_end"`
+	Nodes    []topology.NodeID `json:"nodes"`
+	Requeues int               `json:"requeues"`
+}
+
+// UnitExecutor simulates one campaign round. ExecuteRound must return one
+// outcome per entry of pending (outs[k] belongs to pending[k]); overrides
+// is the accumulated requeue state remote executors need to mirror the
+// driver's plan list (the in-process executor ignores it — its plans are
+// the driver's); completed is the thread-safe progress tick to call once
+// per successfully simulated unit. On error the partial outcome slice is
+// still honored: units with a non-zero outcome are merged.
+//
+// The campaign driver calls ExecuteRound serially — rounds are barriers —
+// so an implementation never sees two rounds in flight.
+type UnitExecutor interface {
+	ExecuteRound(ctx context.Context, pending []int, overrides []PlanOverride, completed func()) ([]UnitOutcome, error)
+}
+
+// localExecutor is the in-process UnitExecutor: pending units are sharded
+// across a bounded pool of simulation workers via the engine.
+type localExecutor struct {
+	c     *Cluster
+	plans []*plan
+	sws   []*simWorker
+}
+
+func (e *localExecutor) ExecuteRound(ctx context.Context, pending []int, _ []PlanOverride, completed func()) ([]UnitOutcome, error) {
+	c := e.c
+	outs := make([]UnitOutcome, len(pending))
+	err := engine.Map(ctx, len(e.sws), len(pending), func(_ context.Context, wkr, k int) error {
+		if e.sws[wkr] == nil {
+			e.sws[wkr] = c.newSimWorker()
+		}
+		i := pending[k]
+		simStart := time.Now()
+		run, err := e.sws[wkr].simulate(e.plans[i], e.plans, i)
+		c.tm.runSecs.ObserveSince(simStart)
+		var de drainError
+		if errors.As(err, &de) {
+			c.tm.drained.Add(1)
+			outs[k] = UnitOutcome{Drained: true, DrainAt: de.at}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.tm.runs.Add(1)
+		outs[k] = UnitOutcome{Run: run}
+		completed()
+		return nil
+	})
+	return outs, err
+}
+
 // RunCampaign schedules and simulates the full controlled experiment
 // campaign and returns the datasets.
 func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
@@ -276,6 +350,24 @@ func (c *Cluster) RunCampaign() (*dataset.Campaign, error) {
 // Plans are never mutated while a round is in flight, so every worker count
 // produces byte-identical campaigns.
 func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error) {
+	workers := engine.Workers(c.cfg.Workers)
+	return c.runCampaign(ctx, func(plans []*plan) UnitExecutor {
+		return &localExecutor{c: c, plans: plans, sws: make([]*simWorker, workers)}
+	})
+}
+
+// RunCampaignWith runs the campaign through an external unit executor —
+// the entry point of the distributed layer (internal/dist): the campaign
+// driver (scheduling, round barriers, requeue decisions, deterministic
+// merge) stays in this process while exec ships units elsewhere. Because
+// units are merged in plan order and requeue decisions are made serially
+// from unit outcomes alone, any executor that returns correct outcomes
+// yields a campaign byte-identical to RunCampaignCtx.
+func (c *Cluster) RunCampaignWith(ctx context.Context, exec UnitExecutor) (*dataset.Campaign, error) {
+	return c.runCampaign(ctx, func([]*plan) UnitExecutor { return exec })
+}
+
+func (c *Cluster) runCampaign(ctx context.Context, mkExec func(plans []*plan) UnitExecutor) (*dataset.Campaign, error) {
 	cfg := c.cfg
 	ctx, campSpan := telemetry.Start(ctx, telemetry.SpanCampaign)
 	defer campSpan.End()
@@ -285,6 +377,7 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 	if err != nil {
 		return nil, err
 	}
+	exec := mkExec(plans)
 
 	camp := &dataset.Campaign{Seed: cfg.Seed, Days: cfg.Days, Faults: cfg.FaultSpec}
 	byName := map[string]*dataset.Dataset{}
@@ -294,8 +387,6 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 		camp.Datasets = append(camp.Datasets, ds)
 	}
 
-	workers := engine.Workers(cfg.Workers)
-	sws := make([]*simWorker, workers)
 	results := make([]*dataset.Run, len(plans))
 	var mu sync.Mutex
 	done := 0
@@ -309,13 +400,7 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 		mu.Unlock()
 	}
 
-	// outcome of one simulated run in the current round
-	type outcome struct {
-		run     *dataset.Run
-		drainAt float64
-		drained bool
-	}
-
+	var overrides []PlanOverride
 	pending := make([]int, len(plans))
 	for i := range pending {
 		pending[i] = i
@@ -324,40 +409,23 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 	for len(pending) > 0 && runErr == nil {
 		_, roundSpan := telemetry.Start(ctx, telemetry.SpanCampaignRound)
 		c.tm.rounds.Add(1)
-		outs := make([]outcome, len(pending))
-		roundErr := engine.Map(ctx, workers, len(pending), func(_ context.Context, wkr, k int) error {
-			if sws[wkr] == nil {
-				sws[wkr] = c.newSimWorker()
-			}
-			i := pending[k]
-			simStart := time.Now()
-			run, err := sws[wkr].simulate(plans[i], plans, i)
-			c.tm.runSecs.ObserveSince(simStart)
-			var de drainError
-			if errors.As(err, &de) {
-				c.tm.drained.Add(1)
-				outs[k] = outcome{drainAt: de.at, drained: true}
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			c.tm.runs.Add(1)
-			outs[k] = outcome{run: run}
-			progress()
-			return nil
-		})
+		outs, roundErr := exec.ExecuteRound(ctx, pending, overrides, progress)
+		if len(outs) < len(pending) {
+			// a misbehaving executor returned a short slice; treat the
+			// missing tail as never-executed
+			outs = append(outs, make([]UnitOutcome, len(pending)-len(outs))...)
+		}
 
 		// merge the round and decide requeues serially, in plan order
 		mergeStart := time.Now()
 		var next []int
 		for k, i := range pending {
 			o := outs[k]
-			if o.run != nil {
-				results[i] = o.run
+			if o.Run != nil {
+				results[i] = o.Run
 				continue
 			}
-			if roundErr != nil || !o.drained {
+			if roundErr != nil || !o.Drained {
 				continue // cancelled before this run executed
 			}
 			// the run lost its nodes mid-flight; requeue the submission
@@ -367,12 +435,19 @@ func (c *Cluster) RunCampaignCtx(ctx context.Context) (*dataset.Campaign, error)
 				p.requeues++
 				rs := c.root.Split(fmt.Sprintf("requeue-%d-%d", i, p.requeues))
 				est := p.estEnd - p.start
-				p.start = o.drainAt + 900*math.Pow(2, float64(p.requeues-1))
+				p.start = o.DrainAt + 900*math.Pow(2, float64(p.requeues-1))
 				p.estEnd = p.start + est
 				p.nodes = nil
 				if c.place(p, plans, i, rs) {
 					p.footprint = c.planFootprint(p)
 					c.tm.requeues.Add(1)
+					overrides = append(overrides, PlanOverride{
+						Unit:     i,
+						Start:    p.start,
+						EstEnd:   p.estEnd,
+						Nodes:    append([]topology.NodeID(nil), p.nodes...),
+						Requeues: p.requeues,
+					})
 					next = append(next, i) // retry at the new slot next round
 					continue
 				}

@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dragonvar/internal/telemetry"
+)
+
+// The chaos test runs a worker as a real OS process and SIGKILLs it while
+// it provably holds a lease, then kills the coordinator too and resumes it
+// from the checkpoint — the full crash story in one test. TestMain doubles
+// as the worker process entry point: the test re-executes its own binary
+// with DIST_HELPER_WORKER=1.
+
+const helperHoldingMarker = "DIST_HELPER_HOLDING"
+
+func TestMain(m *testing.M) {
+	if os.Getenv("DIST_HELPER_WORKER") == "1" {
+		helperWorkerMain()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// helperWorkerMain is the subprocess body: a normal worker, except that
+// after DIST_HELPER_HANG_AFTER completed leases it announces the next
+// lease on stdout and hangs — guaranteed to be holding that lease (and
+// sending no heartbeats) when the parent SIGKILLs it.
+func helperWorkerMain() {
+	hangAfter, _ := strconv.Atoi(os.Getenv("DIST_HELPER_HANG_AFTER"))
+	leases := 0
+	w, err := NewWorker(WorkerConfig{
+		Coord: os.Getenv("DIST_HELPER_COORD"),
+		Name:  "chaos-helper",
+		Log:   os.Stderr,
+		afterLease: func(unit, round int) {
+			leases++
+			if hangAfter > 0 && leases > hangAfter {
+				fmt.Printf("%s unit=%d round=%d\n", helperHoldingMarker, unit, round)
+				select {} // hang forever; only SIGKILL ends this process
+			}
+		},
+	})
+	if err == nil {
+		err = w.Run(context.Background())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+}
+
+// TestChaosWorkerKillAndCoordinatorResume is the acceptance test of the
+// distributed layer: SIGKILL a worker process mid-lease, verify the
+// coordinator declares it dead and re-dispatches its unit, then kill the
+// coordinator as well and restart it from the checkpoint — and still
+// require the finished campaign to be byte-identical to a serial
+// in-process run.
+func TestChaosWorkerKillAndCoordinatorResume(t *testing.T) {
+	r := telemetry.New()
+	telemetry.Enable(r)
+	defer telemetry.Disable()
+
+	cfg := faultedTestConfig(t, 67)
+	serial := serialHash(t, cfg)
+	cpPath := filepath.Join(t.TempDir(), "chaos.ckpt")
+
+	co1, err := NewCoordinator(Config{
+		Cluster: cfg, Addr: "127.0.0.1:0", CheckpointPath: cpPath,
+		Heartbeat: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	done1 := make(chan error, 1)
+	go func() { _, err := co1.Run(ctx1); done1 <- err }()
+
+	// launch the worker as a real process; it completes 2 units, then
+	// hangs holding its 3rd lease and announces that on stdout
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DIST_HELPER_WORKER=1",
+		"DIST_HELPER_COORD=http://"+co1.Addr(),
+		"DIST_HELPER_HANG_AFTER=2",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	holding := false
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), helperHoldingMarker) {
+			holding = true
+			break
+		}
+	}
+	if !holding {
+		t.Fatal("helper worker exited without hanging on a lease")
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no goodbye, no drain
+		t.Fatal(err)
+	}
+	go cmd.Wait()
+
+	// the coordinator must notice the silence, declare the worker dead,
+	// and put the leased unit back in the pool
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		snap := r.Snapshot()
+		if snap.Counters[telemetry.MDistWorkerDeaths] >= 1 && snap.Counters[telemetry.MDistLeaseRedispatch] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGKILLed worker never declared dead (deaths=%d redispatched=%d)",
+				snap.Counters[telemetry.MDistWorkerDeaths], snap.Counters[telemetry.MDistLeaseRedispatch])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// now crash the coordinator too (checkpoint holds the 2 done units)
+	cancel1()
+	if err := <-done1; !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed coordinator returned %v", err)
+	}
+	if _, err := os.Stat(cpPath); err != nil {
+		t.Fatalf("checkpoint missing after coordinator death: %v", err)
+	}
+
+	// restart from the checkpoint with a fresh worker and finish
+	co2, err := NewCoordinator(Config{Cluster: cfg, Addr: "127.0.0.1:0", CheckpointPath: cpPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB := startWorker(context.Background(), t, co2.Addr(), "survivor", nil)
+	camp, err := co2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := camp.Validate(); err != nil {
+		t.Fatalf("resumed campaign invalid: %v", err)
+	}
+	if got := campaignHash(t, camp); got != serial {
+		t.Fatal("campaign after worker SIGKILL + coordinator restart differs from serial")
+	}
+	select {
+	case err := <-wB:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("surviving worker did not exit")
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters[telemetry.MDistResumedUnits] < 2 {
+		t.Errorf("resumed units = %d, want >= 2 (the killed worker completed 2)",
+			snap.Counters[telemetry.MDistResumedUnits])
+	}
+	if _, err := os.Stat(cpPath); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("checkpoint not cleaned up after success: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dragonvar/internal/engine"
+	"dragonvar/internal/telemetry"
+)
+
+// HTTPError is a non-2xx coordinator response. Status 0 never occurs; a
+// transport-level failure surfaces as the underlying error instead.
+type HTTPError struct {
+	Status int
+	Path   string
+	Msg    string
+
+	// retryAfter is the parsed Retry-After delay, 0 when the response
+	// carried none. The client prefers it over its own backoff schedule.
+	retryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("dist: %s: HTTP %d: %s", e.Path, e.Status, e.Msg)
+	}
+	return fmt.Sprintf("dist: %s: HTTP %d", e.Path, e.Status)
+}
+
+// Temporary reports whether retrying the same request can help: timeouts,
+// overload sheds, and server-side faults are temporary; 4xx contract
+// violations (other than 429) are not.
+func (e *HTTPError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// client is a JSON POST client with capped-exponential retry on transient
+// failures. It honors Retry-After from overload responses (the serve-layer
+// convention this repository's daemons emit on 429/503) in preference to
+// its own backoff schedule.
+type client struct {
+	base    string // coordinator base URL, e.g. http://127.0.0.1:9631
+	http    *http.Client
+	backoff engine.Backoff
+	retries int // attempts beyond the first; <0 disables retry
+	retryC  *telemetry.Counter
+}
+
+func newClient(base string, maxRetries int) *client {
+	return &client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{Timeout: 30 * time.Second},
+		backoff: engine.Backoff{Base: 200 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.3},
+		retries: maxRetries,
+		retryC:  telemetry.Active().Counter(telemetry.MDistClientRetries),
+	}
+}
+
+// post sends req as JSON to path and decodes the 2xx response into resp.
+// Transient failures (network errors, 429, 5xx) are retried with backoff —
+// jittered so a worker fleet that loses its coordinator does not stampede
+// it on recovery — until ctx is cancelled or the retry budget is spent.
+// Non-transient HTTP errors return *HTTPError immediately.
+func (c *client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s request: %w", path, err)
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		last = c.once(ctx, path, body, resp)
+		if last == nil {
+			return nil
+		}
+		var he *HTTPError
+		if errors.As(last, &he) && !he.Temporary() {
+			return last
+		}
+		if attempt >= c.retries {
+			return last
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.retryC.Add(1)
+		var sleepErr error
+		if he != nil && he.retryAfter > 0 {
+			sleepErr = engine.SleepFor(ctx, he.retryAfter)
+		} else {
+			sleepErr = c.backoff.Sleep(ctx, attempt)
+		}
+		if sleepErr != nil {
+			return sleepErr
+		}
+	}
+}
+
+func (c *client) once(ctx context.Context, path string, body []byte, resp any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: build %s request: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("dist: read %s response: %w", path, err)
+	}
+	if hresp.StatusCode < 200 || hresp.StatusCode > 299 {
+		he := &HTTPError{Status: hresp.StatusCode, Path: path}
+		var eresp errorResponse
+		if json.Unmarshal(raw, &eresp) == nil {
+			he.Msg = eresp.Error
+		}
+		if ra := hresp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				he.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, resp); err != nil {
+		return fmt.Errorf("dist: decode %s response: %w", path, err)
+	}
+	return nil
+}

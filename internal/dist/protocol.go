@@ -1,0 +1,209 @@
+// Package dist shards a controlled-experiment campaign across processes: a
+// coordinator owns the deterministic schedule, requeue decisions, and the
+// merge, while workers — on the same machine or across a cluster — lease
+// work units (single plan indices) over HTTP/JSON and stream results back.
+//
+// The headline is not the RPC plumbing but the fault-tolerance contract,
+// because workers on a shared cluster die, hang, and get preempted:
+//
+//   - every unit is handed out under a lease (unit + deadline); a lease
+//     that expires — worker crashed, hung, or was preempted mid-unit — is
+//     re-dispatched to another worker with capped exponential backoff;
+//   - workers heartbeat; a silent worker is declared dead early and its
+//     leases are re-queued without waiting for the full deadline;
+//   - malformed or inconsistent results are rejected and the unit is
+//     re-dispatched — one corrupt worker cannot poison the campaign;
+//   - workers retry transient coordinator errors with backoff and jitter
+//     (honoring Retry-After), and drain gracefully on SIGTERM: the
+//     in-flight unit is finished and reported, no new lease is taken;
+//   - the coordinator spills every completed unit to an append-only
+//     checkpoint, so a killed coordinator resumes without re-running
+//     finished units — and resumes byte-identically.
+//
+// Determinism: a run's result depends only on its plan, so duplicated
+// execution (an expired lease whose original worker later answers too) is
+// harmless — first result wins, the rest are dropped as stale. Results are
+// merged in plan order by the campaign driver (cluster.RunCampaignWith),
+// extending the serial ≡ parallel byte-identity contract of
+// internal/engine across process boundaries; the chaos test in this
+// package SIGKILLs a worker mid-campaign, restarts the coordinator from
+// its checkpoint, and still requires the merged campaign to hash
+// identically to a serial in-process run.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/dataset"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/topology"
+)
+
+// ProtocolVersion guards against mixed deployments: join requests carrying
+// a different version are refused.
+const ProtocolVersion = 1
+
+// CampaignSpec is the portable identity of a campaign: everything a worker
+// needs to rebuild the coordinator's cluster and derive the identical plan
+// list. Models and users are always the default registry/roster — the only
+// configuration the CLIs produce — which keeps the spec a value type.
+type CampaignSpec struct {
+	Machine        topology.Config `json:"machine"`
+	Net            netsim.Config   `json:"net"`
+	Days           float64         `json:"days"`
+	Seed           int64           `json:"seed"`
+	MeanRunsPerDay float64         `json:"mean_runs_per_day"`
+	CounterNoise   float64         `json:"counter_noise"`
+	FaultSpec      string          `json:"fault_spec,omitempty"`
+}
+
+// SpecFromCluster derives the portable spec from a cluster config. It
+// refuses configs with a custom model registry or user roster: those are
+// in-process pointers a remote worker cannot reconstruct.
+func SpecFromCluster(cfg cluster.Config) (CampaignSpec, error) {
+	if cfg.Models != nil || cfg.Users != nil {
+		return CampaignSpec{}, fmt.Errorf("dist: distributed campaigns support the default model registry and user roster only")
+	}
+	r := cfg.Resolved()
+	return CampaignSpec{
+		Machine:        r.Machine,
+		Net:            r.Net,
+		Days:           r.Days,
+		Seed:           r.Seed,
+		MeanRunsPerDay: r.MeanRunsPerDay,
+		CounterNoise:   r.CounterNoise,
+		FaultSpec:      r.FaultSpec,
+	}, nil
+}
+
+// ClusterConfig rebuilds the cluster config a worker should simulate with.
+func (s CampaignSpec) ClusterConfig() cluster.Config {
+	return cluster.Config{
+		Machine:        s.Machine,
+		Net:            s.Net,
+		Days:           s.Days,
+		Seed:           s.Seed,
+		MeanRunsPerDay: s.MeanRunsPerDay,
+		CounterNoise:   s.CounterNoise,
+		FaultSpec:      s.FaultSpec,
+	}
+}
+
+// JoinRequest registers a worker with the coordinator.
+type JoinRequest struct {
+	ProtocolVersion int    `json:"protocol_version"`
+	Name            string `json:"name,omitempty"` // informational (hostname, pid)
+}
+
+// JoinResponse hands the worker its identity and the campaign contract.
+type JoinResponse struct {
+	WorkerID         string       `json:"worker_id"`
+	Spec             CampaignSpec `json:"spec"`
+	PlanDigest       string       `json:"plan_digest"`
+	NumUnits         int          `json:"num_units"`
+	LeaseSeconds     float64      `json:"lease_seconds"`     // how long a granted lease lives
+	HeartbeatSeconds float64      `json:"heartbeat_seconds"` // expected heartbeat cadence while holding a lease
+}
+
+// Lease statuses.
+const (
+	StatusLease = "lease" // a unit is attached; simulate it
+	StatusWait  = "wait"  // nothing grantable right now; retry after RetryAfterSeconds
+	StatusDone  = "done"  // the campaign is complete; exit cleanly
+	StatusOK    = "ok"    // generic success
+	StatusStale = "stale" // result for a unit no longer wanted; drop and move on
+)
+
+// LeaseRequest asks for the next work unit.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse grants a unit (StatusLease), asks the worker to poll again
+// later (StatusWait), or ends the session (StatusDone). Overrides is the
+// accumulated requeue state of the campaign so far; the worker applies it
+// before simulating (cluster.UnitSim.Apply is idempotent).
+type LeaseResponse struct {
+	Status            string                 `json:"status"`
+	LeaseID           string                 `json:"lease_id,omitempty"`
+	Unit              int                    `json:"unit"`
+	Round             int                    `json:"round"`
+	Overrides         []cluster.PlanOverride `json:"overrides,omitempty"`
+	LeaseSeconds      float64                `json:"lease_seconds,omitempty"`
+	RetryAfterSeconds float64                `json:"retry_after_seconds,omitempty"`
+}
+
+// ResultRequest reports a unit outcome. RunGob carries the completed
+// dataset.Run as gob bytes (base64 in JSON): gob is the repository's
+// byte-exact float64 transport, and the run data contains NaN missing-value
+// markers that JSON cannot carry. Error reports a non-drain simulation
+// failure, which aborts the campaign (mirroring the in-process executor).
+type ResultRequest struct {
+	WorkerID string  `json:"worker_id"`
+	LeaseID  string  `json:"lease_id"`
+	Unit     int     `json:"unit"`
+	Round    int     `json:"round"`
+	Drained  bool    `json:"drained,omitempty"`
+	DrainAt  float64 `json:"drain_at,omitempty"`
+	RunGob   []byte  `json:"run_gob,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// ResultResponse acknowledges a result (StatusOK) or tells the worker the
+// unit was no longer wanted (StatusStale — not an error; the unit was
+// re-dispatched and answered by someone else, or the round moved on).
+type ResultResponse struct {
+	Status string `json:"status"`
+}
+
+// HeartbeatRequest is the periodic sign of life a worker sends while
+// holding a lease (and while simulating a long unit in particular).
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	LeaseID  string `json:"lease_id,omitempty"`
+}
+
+// HeartbeatResponse tells the worker whether the campaign still wants it.
+type HeartbeatResponse struct {
+	Status string `json:"status"` // StatusOK or StatusDone
+}
+
+// errorResponse is the JSON error body on non-2xx responses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// EncodeRun serializes a completed run for the wire.
+func EncodeRun(run *dataset.Run) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(run); err != nil {
+		return nil, fmt.Errorf("dist: encode run: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRun deserializes and sanity-checks a wire run. The checks mirror
+// dataset.Campaign.Validate at run granularity, so a truncated or corrupt
+// payload is rejected here — and the unit re-dispatched — instead of
+// poisoning the merged campaign.
+func DecodeRun(blob []byte) (*dataset.Run, error) {
+	var run dataset.Run
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&run); err != nil {
+		return nil, fmt.Errorf("dist: decode run: %w", err)
+	}
+	t := len(run.StepTimes)
+	if t == 0 {
+		return nil, fmt.Errorf("dist: decoded run has no steps")
+	}
+	if len(run.Compute) != t || len(run.Counters) != t || len(run.IO) != t || len(run.Sys) != t {
+		return nil, fmt.Errorf("dist: decoded run observation lengths disagree (times=%d compute=%d counters=%d io=%d sys=%d)",
+			t, len(run.Compute), len(run.Counters), len(run.IO), len(run.Sys))
+	}
+	if run.Missing != nil && len(run.Missing) != t {
+		return nil, fmt.Errorf("dist: decoded run missing-marker length %d != %d steps", len(run.Missing), t)
+	}
+	return &run, nil
+}

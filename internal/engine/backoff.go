@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with optional jitter.
+// The zero value is usable and gives 100ms · 2^attempt capped at 30s with
+// no jitter. Backoff carries no state: Delay is a pure function of the
+// attempt number (plus the process-global jitter source when Jitter > 0),
+// so one value can be shared by any number of goroutines.
+//
+// Jitter exists for the distributed layer (internal/dist): it decorrelates
+// retry storms when many workers lose the coordinator at once. It affects
+// only when work happens, never what is computed — the repository's
+// determinism contract is about output bytes, and retry timing is not
+// output.
+type Backoff struct {
+	Base   time.Duration // first delay; default 100ms
+	Max    time.Duration // delay cap; default 30s
+	Factor float64       // per-attempt growth; default 2
+	Jitter float64       // fraction of each delay drawn uniformly at random; 0 = deterministic
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 30 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Delay returns the delay before retry number attempt (attempt 0 is the
+// first retry). The exponential part is min(Base·Factor^attempt, Max);
+// with Jitter j, the result is scaled by a uniform draw from [1-j, 1+j]
+// and re-capped at Max.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rand.Float64()-1)
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Sleep blocks for Delay(attempt) or until ctx is cancelled, returning
+// ctx.Err() in the latter case — the building block of every retry loop in
+// the distributed layer.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SleepFor is Sleep with an explicit duration — used when a server names
+// its own retry delay (a Retry-After header) that should override the
+// exponential schedule.
+func SleepFor(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

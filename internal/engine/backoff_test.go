@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	if got := b.Delay(-3); got != 100*time.Millisecond {
+		t.Errorf("Delay(-3) = %v, want Base", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("zero-value Delay(0) = %v, want 100ms", got)
+	}
+	if got := b.Delay(1000); got != 30*time.Second {
+		t.Errorf("zero-value Delay(1000) = %v, want 30s cap", got)
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := b.Delay(0)
+		if d < 500*time.Millisecond || d > 1500*time.Millisecond {
+			t.Fatalf("jittered Delay(0) = %v outside [0.5s, 1.5s]", d)
+		}
+	}
+	// jitter never exceeds the cap
+	for i := 0; i < 200; i++ {
+		if d := b.Delay(50); d > time.Minute {
+			t.Fatalf("jittered delay %v exceeds Max", d)
+		}
+	}
+}
+
+func TestBackoffSleepHonorsCancel(t *testing.T) {
+	b := Backoff{Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancel")
+	}
+}
+
+func TestSleepFor(t *testing.T) {
+	if err := SleepFor(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("SleepFor: %v", err)
+	}
+	// non-positive duration returns immediately with the context state
+	if err := SleepFor(context.Background(), 0); err != nil {
+		t.Fatalf("SleepFor(0): %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepFor(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("SleepFor on cancelled ctx = %v, want Canceled", err)
+	}
+}

@@ -87,6 +87,25 @@ type ref struct {
 	Meta Meta   `json:"meta"`
 }
 
+// CorruptObjectError reports an object whose bytes no longer hash to its
+// content id — a bit flip, truncation, or tampering. The store quarantines
+// the damaged file by renaming it to <object>.corrupt so the next Put of
+// the same artifact can heal the store instead of colliding with garbage.
+type CorruptObjectError struct {
+	ID          string // full content id of the damaged object
+	GotHash     string // what the bytes actually hash to
+	Quarantined bool   // whether the rename to *.corrupt succeeded
+}
+
+func (e *CorruptObjectError) Error() string {
+	msg := fmt.Sprintf("modelstore: object %.12s: content hash mismatch (got %.12s): store corrupted",
+		e.ID, e.GotHash)
+	if e.Quarantined {
+		msg += " (quarantined as .corrupt)"
+	}
+	return msg
+}
+
 // Store is a model store rooted at a directory.
 type Store struct {
 	root string
@@ -228,8 +247,15 @@ func (s *Store) get(name, wantKind string) (*envelope, error) {
 	}
 	sum := sha256.Sum256(blob)
 	if got := hex.EncodeToString(sum[:]); got != id {
-		return nil, fmt.Errorf("modelstore: object %s: content hash mismatch (got %s): store corrupted",
-			id[:12], got[:12])
+		cerr := &CorruptObjectError{ID: id, GotHash: got}
+		// move the damaged file out of the address space so a later Put of
+		// the true artifact lands on a clean path; keep the bytes for
+		// forensics rather than deleting evidence
+		op := s.objectPath(id)
+		if err := os.Rename(op, op+".corrupt"); err == nil {
+			cerr.Quarantined = true
+		}
+		return nil, cerr
 	}
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&env); err != nil {

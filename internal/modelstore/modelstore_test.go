@@ -1,6 +1,7 @@
 package modelstore
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -153,9 +154,30 @@ func TestCorruptObjectDetected(t *testing.T) {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := st.GetGBR("thing"); err == nil ||
-		!strings.Contains(err.Error(), "hash mismatch") {
+	_, _, err = st.GetGBR("thing")
+	if err == nil || !strings.Contains(err.Error(), "hash mismatch") {
 		t.Fatalf("corrupt object load: err = %v, want hash mismatch", err)
+	}
+	var cerr *CorruptObjectError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("corrupt object load: err = %T, want *CorruptObjectError", err)
+	}
+	if cerr.ID != id || !cerr.Quarantined {
+		t.Fatalf("CorruptObjectError = %+v, want ID %.12s… and Quarantined", cerr, id)
+	}
+	// the damaged file must be moved aside, not left on the content address
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt object still at its content address: %v", err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("quarantined .corrupt file missing: %v", err)
+	}
+	// with the address free again, re-putting the artifact heals the store
+	if _, err := st.PutGBR("thing", Meta{Seed: 1}, m); err != nil {
+		t.Fatalf("re-put after quarantine: %v", err)
+	}
+	if _, _, err := st.GetGBR("thing"); err != nil {
+		t.Fatalf("load after heal: %v", err)
 	}
 }
 

@@ -202,6 +202,9 @@ func (s *Server) limited(lat func() *telemetry.Histogram, fn http.HandlerFunc) h
 		// lock, at which point refusing is exactly the intent.
 		if s.draining.Load() || !s.drainMu.TryRLock() {
 			s.shed.Inc()
+			// a drain usually precedes a restart: tell well-behaved clients
+			// when it is worth trying again instead of hammering the drain
+			w.Header().Set("Retry-After", "5")
 			apiError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
@@ -212,6 +215,8 @@ func (s *Server) limited(lat func() *telemetry.Histogram, fn http.HandlerFunc) h
 		if int(depth) > s.cfg.MaxQueue {
 			s.waiting.Add(-1)
 			s.shed.Inc()
+			// queue-full overload is transient at request timescales
+			w.Header().Set("Retry-After", "1")
 			apiError(w, http.StatusTooManyRequests, "overloaded: %d requests queued", depth-1)
 			return
 		}

@@ -232,7 +232,11 @@ func TestQueueFullSheds429(t *testing.T) {
 	})
 	s := rng.New(13)
 
-	statuses := make(chan int, 3)
+	type shedResult struct {
+		status     int
+		retryAfter string
+	}
+	statuses := make(chan shedResult, 3)
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		w := randomWindow(s) // distinct windows: no cache short-circuit
@@ -240,7 +244,7 @@ func TestQueueFullSheds429(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			resp, _ := postJSON(t, ts.URL+"/v1/forecast", forecastRequest{Window: w})
-			statuses <- resp.StatusCode
+			statuses <- shedResult{resp.StatusCode, resp.Header.Get("Retry-After")}
 		}()
 		// let request i occupy its slot before launching i+1
 		time.Sleep(100 * time.Millisecond)
@@ -248,8 +252,11 @@ func TestQueueFullSheds429(t *testing.T) {
 	wg.Wait()
 	close(statuses)
 	counts := map[int]int{}
-	for st := range statuses {
-		counts[st]++
+	for r := range statuses {
+		counts[r.status]++
+		if r.status == http.StatusTooManyRequests && r.retryAfter == "" {
+			t.Error("429 shed response carries no Retry-After header")
+		}
 	}
 	if counts[http.StatusOK] != 2 || counts[http.StatusTooManyRequests] != 1 {
 		t.Fatalf("status mix %v, want two 200s and one 429", counts)
@@ -297,6 +304,8 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	if resp, _ := postJSON(t, ts.URL+"/v1/forecast", forecastRequest{Window: randomWindow(s)}); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("new request during drain: status %d, want 503", resp.StatusCode)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 drain response carries no Retry-After header")
 	}
 	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
 		t.Fatal(err)

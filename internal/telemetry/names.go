@@ -72,6 +72,24 @@ const (
 	MServeCacheMisses   = "serve/cache_misses"      // counter: forecast LRU prediction-cache misses
 	MServeBatches       = "serve/batches_total"     // counter: coalesced model batch calls
 	MServeBatchSize     = "serve/batch_size"        // histogram: forecast requests coalesced per batch call
+
+	// internal/dist — the distributed campaign layer (coordinator unless
+	// noted; the client-retry counter is recorded by worker processes).
+	MDistLeasesGranted    = "dist/leases_granted_total"      // counter: work-unit leases handed to workers
+	MDistLeaseExpired     = "dist/lease_expired_total"       // counter: leases that hit their deadline unanswered
+	MDistLeaseRedispatch  = "dist/lease_redispatched_total"  // counter: units re-queued after expiry, worker death, or a malformed result
+	MDistResults          = "dist/results_total"             // counter: unit results accepted
+	MDistResultsMalformed = "dist/results_malformed_total"   // counter: results rejected as undecodable or inconsistent
+	MDistResultsStale     = "dist/results_stale_total"       // counter: results for already-completed or out-of-round units
+	MDistWorkerDeaths     = "dist/worker_deaths_total"       // counter: workers declared dead after missed heartbeats
+	MDistCheckpointRecs   = "dist/checkpoint_records_total"  // counter: outcome records appended to the spill file
+	MDistResumedUnits     = "dist/resumed_units_total"       // counter: units satisfied from the checkpoint on resume
+	MDistClientRetries    = "dist/client_retries_total"      // counter: worker-side RPC retries (transient coordinator errors)
+	MDistHeartbeatGap     = "dist/heartbeat_gap_seconds"     // histogram: gap between consecutive signs of life per worker
+	MDistWorkerUnits      = "dist/worker_units"              // histogram: units completed per worker, observed at campaign end
+	GDistWorkers          = "dist/workers"                   // gauge: workers currently considered alive
+	GDistPendingUnits     = "dist/pending_units"             // gauge: units of the current round not yet completed
+	GDistLeasedUnits      = "dist/leased_units"              // gauge: units currently out on a lease
 )
 
 // Serving bucket layouts. Like the layouts in telemetry.go these are fixed
@@ -115,6 +133,11 @@ var AllMetricNames = []string{
 	MServeForecastSecs, MServeDeviationSecs, MServeBlameSecs, MServeQueueDepth,
 	GServeInflight, GServeDraining,
 	MServeCacheHits, MServeCacheMisses, MServeBatches, MServeBatchSize,
+	MDistLeasesGranted, MDistLeaseExpired, MDistLeaseRedispatch,
+	MDistResults, MDistResultsMalformed, MDistResultsStale,
+	MDistWorkerDeaths, MDistCheckpointRecs, MDistResumedUnits, MDistClientRetries,
+	MDistHeartbeatGap, MDistWorkerUnits,
+	GDistWorkers, GDistPendingUnits, GDistLeasedUnits,
 }
 
 // AllSpanNames lists every fixed span name plus the report prefix.
