@@ -37,10 +37,13 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Execution-engine benchmark: same campaign serial vs parallel, verifies
-# byte-identical output, writes BENCH_engine.json. Speedup tracks the
-# host's core count (a 1-CPU container reports ~1.0x by construction).
+# byte-identical output, appends per-policy rows to BENCH_engine.json (the
+# default adaptive/firstfit pair plus the minimal-routing baseline).
+# Speedup tracks the host's core count (a 1-CPU container reports ~1.0x by
+# construction).
 bench-engine:
 	$(GO) run ./cmd/dfbench -days 30 -seed $(SEED) -workers 4 -out BENCH_engine.json
+	$(GO) run ./cmd/dfbench -days 30 -seed $(SEED) -workers 4 -routing minimal -out BENCH_engine.json
 
 # Serving benchmark: train a small model set, start dfserved, drive it at
 # a target rate with the built-in load generator (RPS/DURATION env vars to

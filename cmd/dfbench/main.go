@@ -3,7 +3,13 @@
 // byte-identical (the engine's core contract), and writes the timings as
 // JSON for the benchmark ledger.
 //
-//	dfbench [-days N] [-seed S] [-workers N] [-cori] [-out BENCH_engine.json] [-telemetry FILE] [-pprof ADDR]
+//	dfbench [-days N] [-seed S] [-workers N] [-cori] [-routing POLICY] [-placement POLICY]
+//	        [-reps N] [-out BENCH_engine.json] [-telemetry FILE] [-pprof ADDR]
+//
+// The ledger is append-only: each invocation adds one row (keyed by the
+// routing/placement pair it benchmarked) and keeps prior rows, so per-policy
+// engine timings accumulate side by side. -reps repeats the serial
+// measurement and records mean/std/std_rel of the timings.
 //
 // The speedup is bounded by the host: on a single-core container the
 // parallel run can be no faster than the serial one (the JSON records the
@@ -25,24 +31,33 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/stats"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
 
 type result struct {
-	Benchmark   string  `json:"benchmark"`
-	CPUs        int     `json:"cpus"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	Machine     string  `json:"machine"`
-	Days        float64 `json:"days"`
-	Seed        int64   `json:"seed"`
-	Runs        int     `json:"runs"`
-	Workers     int     `json:"workers"`
-	SerialSec   float64 `json:"serial_sec"`
-	ParallelSec float64 `json:"parallel_sec"`
-	Speedup     float64 `json:"speedup"`
-	Identical   bool    `json:"identical"`
-	Hash        string  `json:"campaign_sha256"`
+	Benchmark  string  `json:"benchmark"`
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Machine    string  `json:"machine"`
+	Days       float64 `json:"days"`
+	Seed       int64   `json:"seed"`
+	Runs       int     `json:"runs"`
+	Workers    int     `json:"workers"`
+	Routing    string  `json:"routing"`
+	Placement  string  `json:"placement"`
+	SerialSec  float64 `json:"serial_sec"`
+	// -reps repeats the serial measurement; the ledger records the spread
+	// in the mean/std/std_rel convention so timing noise is visible.
+	Reps            int     `json:"reps"`
+	SerialSecMean   float64 `json:"serial_sec_mean"`
+	SerialSecStd    float64 `json:"serial_sec_std"`
+	SerialSecStdRel float64 `json:"serial_sec_std_rel"`
+	ParallelSec     float64 `json:"parallel_sec"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+	Hash            string  `json:"campaign_sha256"`
 }
 
 func main() {
@@ -50,7 +65,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "campaign seed")
 	workers := flag.Int("workers", 4, "parallel worker count to compare against serial")
 	cori := flag.Bool("cori", false, "benchmark the full Cori machine instead of the small one")
-	out := flag.String("out", "BENCH_engine.json", "output JSON file")
+	routingPolicy := flag.String("routing", "", "routing policy to benchmark (empty = engine default, adaptive)")
+	placementPolicy := flag.String("placement", "", "placement policy to benchmark (empty = firstfit)")
+	reps := flag.Int("reps", 1, "serial measurement repetitions for the mean/std/std_rel timing row")
+	out := flag.String("out", "BENCH_engine.json", "output JSON ledger; existing entries are kept and the new row appended")
 	tmPath := flag.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -73,18 +91,35 @@ func main() {
 	}()
 
 	cfg := cluster.Config{Days: *days, Seed: *seed}
+	cfg.Net.Routing = *routingPolicy
+	cfg.Placement = *placementPolicy
 	machine := "small"
 	if !*cori {
 		cfg.Machine = topology.Small()
 	} else {
 		machine = "cori"
 	}
-
-	serialCamp, serialSec, err := timeCampaign(cfg, 1)
-	if err != nil {
-		fatal(err)
+	if *reps < 1 {
+		*reps = 1
 	}
-	fmt.Fprintf(os.Stderr, "serial   (workers=1): %d runs in %.2fs\n", serialCamp.TotalRuns(), serialSec)
+
+	var serialCamp *dataset.Campaign
+	var w stats.Welford
+	serialSec := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		camp, sec, err := timeCampaign(cfg, 1)
+		if err != nil {
+			fatal(err)
+		}
+		w.Add(sec)
+		if rep == 0 {
+			serialCamp, serialSec = camp, sec
+		} else if campaignHash(camp) != campaignHash(serialCamp) {
+			fatal(fmt.Errorf("DETERMINISM VIOLATION: serial rep %d differs from rep 0", rep))
+		}
+		fmt.Fprintf(os.Stderr, "serial   (workers=1, rep %d/%d): %d runs in %.2fs\n",
+			rep+1, *reps, camp.TotalRuns(), sec)
+	}
 
 	parCamp, parSec, err := timeCampaign(cfg, *workers)
 	if err != nil {
@@ -93,35 +128,78 @@ func main() {
 	fmt.Fprintf(os.Stderr, "parallel (workers=%d): %d runs in %.2fs\n", *workers, parCamp.TotalRuns(), parSec)
 
 	h1, h2 := campaignHash(serialCamp), campaignHash(parCamp)
+	routingName, placementName := cfg.EffectivePolicies()
 	res := result{
-		Benchmark:   "campaign-engine",
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Machine:     machine,
-		Days:        *days,
-		Seed:        *seed,
-		Runs:        serialCamp.TotalRuns(),
-		Workers:     *workers,
-		SerialSec:   serialSec,
-		ParallelSec: parSec,
-		Speedup:     serialSec / parSec,
-		Identical:   h1 == h2,
-		Hash:        hex.EncodeToString(h1[:8]),
+		Benchmark:     "campaign-engine",
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Machine:       machine,
+		Days:          *days,
+		Seed:          *seed,
+		Runs:          serialCamp.TotalRuns(),
+		Workers:       *workers,
+		Routing:       routingName,
+		Placement:     placementName,
+		SerialSec:     serialSec,
+		Reps:          *reps,
+		SerialSecMean: w.Mean(),
+		SerialSecStd:  w.Std(),
+		ParallelSec:   parSec,
+		Speedup:       w.Mean() / parSec,
+		Identical:     h1 == h2,
+		Hash:          hex.EncodeToString(h1[:8]),
+	}
+	if res.SerialSecMean > 0 {
+		res.SerialSecStdRel = res.SerialSecStd / res.SerialSecMean
 	}
 	if !res.Identical {
 		fatal(fmt.Errorf("DETERMINISM VIOLATION: workers=1 and workers=%d campaigns differ", *workers))
 	}
 
-	blob, err := json.MarshalIndent(res, "", "  ")
+	blob, err := appendLedger(*out, res)
 	if err != nil {
 		fatal(err)
 	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "speedup %.2fx on %d CPUs, outputs identical; wrote %s\n", res.Speedup, res.CPUs, *out)
+	fmt.Fprintf(os.Stderr, "speedup %.2fx on %d CPUs, outputs identical; appended %s/%s row to %s\n",
+		res.Speedup, res.CPUs, res.Routing, res.Placement, *out)
 	os.Stdout.Write(blob)
+}
+
+// appendLedger appends res to the JSON ledger at path, keeping existing
+// entries: the ledger is an array of result objects, and a legacy
+// single-object file is wrapped into an array first. Returns the bytes
+// written.
+func appendLedger(path string, res result) ([]byte, error) {
+	var entries []map[string]interface{}
+	if old, err := os.ReadFile(path); err == nil {
+		trimmed := bytes.TrimSpace(old)
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			if err := json.Unmarshal(trimmed, &entries); err != nil {
+				return nil, fmt.Errorf("ledger %s is not a valid result array: %w", path, err)
+			}
+		} else if len(trimmed) > 0 {
+			var one map[string]interface{}
+			if err := json.Unmarshal(trimmed, &one); err != nil {
+				return nil, fmt.Errorf("ledger %s is not valid JSON: %w", path, err)
+			}
+			entries = append(entries, one)
+		}
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	var entry map[string]interface{}
+	if err := json.Unmarshal(blob, &entry); err != nil {
+		return nil, err
+	}
+	entries = append(entries, entry)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, '\n')
+	return out, os.WriteFile(path, out, 0o644)
 }
 
 func timeCampaign(cfg cluster.Config, workers int) (*dataset.Campaign, float64, error) {

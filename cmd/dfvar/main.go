@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"dragonvar/internal/cluster"
@@ -37,7 +38,9 @@ import (
 	"dragonvar/internal/experiments"
 	"dragonvar/internal/export"
 	"dragonvar/internal/monitor"
+	"dragonvar/internal/routing"
 	"dragonvar/internal/sigctx"
+	"dragonvar/internal/slurm"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
 )
@@ -66,6 +69,8 @@ func main() {
 		err = cmdExport(ctx, os.Args[2:])
 	case "plot":
 		err = cmdPlot(ctx, os.Args[2:])
+	case "ab":
+		err = cmdAB(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -117,7 +122,14 @@ func usage() {
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
   dfvar plot     [-cache FILE] [-days N] [-seed S] [-small] [-fast] -out DIR
+  dfvar ab       [-days N] [-seed S] [-small] [-faults SPEC] -arms R/P,R/P[,...] [-out FILE] [-verify] [-blame]
 artifacts: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 all
+routing policies: minimal, valiant, adaptive (UGAL-style), feedback (stall-EWMA
+  biased); placement policies: firstfit, compact, interference. -routing and
+  -placement (default $DRAGONVAR_ROUTING / $DRAGONVAR_PLACEMENT) select them for
+  campaign/report/export/plot; "dfvar ab" reruns the same seeded campaign under
+  each -arms pair and prints per-dataset variability distributions with deltas
+  (-verify additionally proves each arm's serial == parallel byte-identity).
 fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
   link:ID@T0-T1[*FRAC] router:ID@T0-T1 drain:ROUTER@T0-T1 dropout@T0-T1 (comma-separated)
 -workers 0 (the default) uses $DRAGONVAR_WORKERS, falling back to GOMAXPROCS;
@@ -142,6 +154,8 @@ type commonFlags struct {
 	small     bool
 	fast      bool
 	faults    string
+	routing   string
+	placement string
 	workers   int
 	telemetry string
 	pprof     string
@@ -155,6 +169,12 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.BoolVar(&c.small, "small", false, "use the reduced test machine instead of Cori")
 	fs.BoolVar(&c.fast, "fast", false, "faster, less accurate ML settings")
 	fs.StringVar(&c.faults, "faults", "", `fault-injection spec, e.g. "links=2,routers=1,dropouts=2" (see DESIGN.md)`)
+	fs.StringVar(&c.routing, "routing", os.Getenv(cluster.EnvRouting),
+		"routing policy: "+strings.Join(routing.PolicyNames(), ", ")+
+			" (default $"+cluster.EnvRouting+" or the engine default, adaptive)")
+	fs.StringVar(&c.placement, "placement", os.Getenv(cluster.EnvPlacement),
+		"placement policy: "+strings.Join(slurm.PlacementPolicyNames(), ", ")+
+			" (default $"+cluster.EnvPlacement+" or firstfit)")
 	fs.IntVar(&c.workers, "workers", 0,
 		"simulation/analysis worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
 	fs.StringVar(&c.telemetry, "telemetry", "",
@@ -246,8 +266,24 @@ func (c commonFlags) startTelemetry() (flush func(), err error) {
 	}, nil
 }
 
+// checkPolicies validates -routing/-placement (or their environment
+// defaults) up front, so a typo is a usage error instead of a runtime one.
+func (c commonFlags) checkPolicies() error {
+	if c.routing != "" && !routing.ValidPolicy(c.routing) {
+		return usageError{fmt.Errorf("unknown routing policy %q (have %s)",
+			c.routing, strings.Join(routing.PolicyNames(), ", "))}
+	}
+	if c.placement != "" && !slurm.ValidPlacementPolicy(c.placement) {
+		return usageError{fmt.Errorf("unknown placement policy %q (have %s)",
+			c.placement, strings.Join(slurm.PlacementPolicyNames(), ", "))}
+	}
+	return nil
+}
+
 func (c commonFlags) clusterConfig() cluster.Config {
 	cfg := cluster.Config{Days: c.days, Seed: c.seed, FaultSpec: c.faults, Workers: c.workers}
+	cfg.Net.Routing = c.routing
+	cfg.Placement = c.placement
 	if c.small {
 		cfg.Machine = topology.Small()
 	}
@@ -273,6 +309,9 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	distLease := fs.Duration("dist-lease", 0,
 		"distributed work-unit lease duration before re-dispatch (default 2m)")
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := c.checkPolicies(); err != nil {
 		return err
 	}
 	flush, err := c.startTelemetry()
@@ -423,6 +462,9 @@ func cmdReport(ctx context.Context, args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	if err := c.checkPolicies(); err != nil {
+		return err
+	}
 	flush, err := c.startTelemetry()
 	if err != nil {
 		return err
@@ -474,6 +516,9 @@ func cmdExport(ctx context.Context, args []string) error {
 	addCommon(fs, &c)
 	out := fs.String("out", "csv", "output directory for CSV files")
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := c.checkPolicies(); err != nil {
 		return err
 	}
 	flush, err := c.startTelemetry()

@@ -25,6 +25,9 @@ func cmdPlot(ctx context.Context, args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	if err := c.checkPolicies(); err != nil {
+		return err
+	}
 	flush, err := c.startTelemetry()
 	if err != nil {
 		return err

@@ -21,12 +21,23 @@ import (
 	"dragonvar/internal/dataset"
 	"dragonvar/internal/engine"
 	"dragonvar/internal/faults"
+	"dragonvar/internal/monitor"
 	"dragonvar/internal/mpi"
 	"dragonvar/internal/netsim"
 	"dragonvar/internal/rng"
+	"dragonvar/internal/routing"
 	"dragonvar/internal/slurm"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
+)
+
+// Environment variables the CLI layer consults for policy defaults, the
+// same convention as engine.EnvWorkers. Resolved by the CLIs only — never
+// inside withDefaults, so a distributed worker with a different
+// environment cannot silently diverge from its coordinator.
+const (
+	EnvRouting   = "DRAGONVAR_ROUTING"
+	EnvPlacement = "DRAGONVAR_PLACEMENT"
 )
 
 // Config parameterizes a campaign.
@@ -49,6 +60,17 @@ type Config struct {
 	// Empty means a perfect machine. The schedule is derived
 	// deterministically from Seed, so a faulted campaign reproduces.
 	FaultSpec string
+	// Placement names the placement policy deciding where jobs land
+	// ("firstfit", "compact", "interference" — see
+	// slurm.PlacementPolicyNames). Empty means "firstfit", the historical
+	// behavior. Like Net.Routing it is part of the campaign's cache
+	// identity.
+	Placement string
+	// BlamedUsers is the advisor's blame list (advisor.Advisor.Blamed):
+	// background users whose presence predicts interference. Only the
+	// "interference" placement policy reads it — jobs of blamed users
+	// weigh double in the expected-load view placements avoid.
+	BlamedUsers []string
 	// Workers is the number of runs simulated concurrently by RunCampaign
 	// (0 means engine.Workers: $DRAGONVAR_WORKERS or GOMAXPROCS). Every
 	// worker count produces byte-identical campaigns; Workers only changes
@@ -84,7 +106,14 @@ func (c Config) withDefaults() Config {
 		c.Machine = topology.Cori()
 	}
 	if c.Net.LinkBandwidth == 0 {
+		// a policy choice rides along even when the physical constants
+		// default (the CLIs set only Net.Routing)
+		rt, bias := c.Net.Routing, c.Net.NonMinimalBias
 		c.Net = netsim.DefaultConfig()
+		c.Net.Routing, c.Net.NonMinimalBias = rt, bias
+	}
+	if c.Placement == "" {
+		c.Placement = "firstfit"
 	}
 	if c.Days <= 0 {
 		c.Days = 130
@@ -104,6 +133,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// EffectivePolicies returns the routing and placement policy names the
+// campaign will run under after defaulting — the values recorded in the
+// campaign's cache identity (dataset.Campaign.Routing / .Placement).
+func (c Config) EffectivePolicies() (routingPolicy, placementPolicy string) {
+	c = c.withDefaults()
+	return c.Net.PolicyName(), c.Placement
+}
+
 // Cluster is a wired machine with its background workload, ready to run
 // controlled experiments.
 type Cluster struct {
@@ -117,6 +154,11 @@ type Cluster struct {
 	root     *rng.Stream
 	curEpoch int // fault epoch currently applied to Net
 
+	// placer decides where controlled runs land; blamed is the advisor
+	// blame list as a set (read only by the interference-aware policy).
+	placer slurm.PlacementPolicy
+	blamed map[string]bool
+
 	tm clusterMetrics
 }
 
@@ -124,26 +166,32 @@ type Cluster struct {
 // once in New. All handles are nil (no-op) when telemetry is disabled, and
 // observation-only either way: no simulation decision reads them.
 type clusterMetrics struct {
-	runs      *telemetry.Counter
-	drained   *telemetry.Counter
-	requeues  *telemetry.Counter
-	abandoned *telemetry.Counter
-	rounds    *telemetry.Counter
-	runSecs   *telemetry.Histogram
-	mergeSecs *telemetry.Histogram
-	ldms      *telemetry.Counter
+	runs        *telemetry.Counter
+	drained     *telemetry.Counter
+	requeues    *telemetry.Counter
+	abandoned   *telemetry.Counter
+	rounds      *telemetry.Counter
+	runSecs     *telemetry.Histogram
+	mergeSecs   *telemetry.Histogram
+	ldms        *telemetry.Counter
+	placements  *telemetry.Counter
+	placeNodes  *telemetry.Histogram
+	placeGroups *telemetry.Histogram
 }
 
 func newClusterMetrics() clusterMetrics {
 	return clusterMetrics{
-		runs:      telemetry.C(telemetry.MClusterRuns),
-		drained:   telemetry.C(telemetry.MClusterDrained),
-		requeues:  telemetry.C(telemetry.MClusterRequeues),
-		abandoned: telemetry.C(telemetry.MClusterAbandoned),
-		rounds:    telemetry.C(telemetry.MClusterRounds),
-		runSecs:   telemetry.H(telemetry.MClusterRunSecs, telemetry.SecondsBuckets),
-		mergeSecs: telemetry.H(telemetry.MClusterMergeSecs, telemetry.SecondsBuckets),
-		ldms:      telemetry.C(telemetry.MLDMSSamples),
+		runs:        telemetry.C(telemetry.MClusterRuns),
+		drained:     telemetry.C(telemetry.MClusterDrained),
+		requeues:    telemetry.C(telemetry.MClusterRequeues),
+		abandoned:   telemetry.C(telemetry.MClusterAbandoned),
+		rounds:      telemetry.C(telemetry.MClusterRounds),
+		runSecs:     telemetry.H(telemetry.MClusterRunSecs, telemetry.SecondsBuckets),
+		mergeSecs:   telemetry.H(telemetry.MClusterMergeSecs, telemetry.SecondsBuckets),
+		ldms:        telemetry.C(telemetry.MLDMSSamples),
+		placements:  telemetry.C(telemetry.MSlurmPlacements),
+		placeNodes:  telemetry.H(telemetry.MSlurmPlacementNodes, telemetry.CountBuckets),
+		placeGroups: telemetry.H(telemetry.MSlurmPlacementGroups, telemetry.CountBuckets),
 	}
 }
 
@@ -164,12 +212,26 @@ func New(cfg Config) (*Cluster, error) {
 		// campaign's cache identity doesn't depend on the spelling
 		cfg.FaultSpec = ""
 	}
+	if !routing.ValidPolicy(cfg.Net.PolicyName()) {
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (have %v)", cfg.Net.PolicyName(), routing.PolicyNames())
+	}
+	placer, err := slurm.NewPlacementPolicy(cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var blamed map[string]bool
+	if len(cfg.BlamedUsers) > 0 {
+		blamed = make(map[string]bool, len(cfg.BlamedUsers))
+		for _, u := range cfg.BlamedUsers {
+			blamed[u] = true
+		}
+	}
 	root := rng.New(cfg.Seed)
 	net := netsim.New(topo, cfg.Net, root.Split("netsim"))
 	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users, Faults: sched, Workers: cfg.Workers},
 		root.Split("timeline"))
 	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, Faults: sched, root: root, curEpoch: -1,
-		tm: newClusterMetrics()}, nil
+		placer: placer, blamed: blamed, tm: newClusterMetrics()}, nil
 }
 
 // applyFaultsTo derates net to the fault state at time t, tracking the
@@ -379,7 +441,10 @@ func (c *Cluster) runCampaign(ctx context.Context, mkExec func(plans []*plan) Un
 	}
 	exec := mkExec(plans)
 
-	camp := &dataset.Campaign{Seed: cfg.Seed, Days: cfg.Days, Faults: cfg.FaultSpec}
+	camp := &dataset.Campaign{
+		Seed: cfg.Seed, Days: cfg.Days, Faults: cfg.FaultSpec,
+		Routing: cfg.Net.PolicyName(), Placement: cfg.Placement,
+	}
 	byName := map[string]*dataset.Dataset{}
 	for _, m := range cfg.Models {
 		ds := &dataset.Dataset{Name: m.Name(), App: m.App.String(), Nodes: m.Nodes}
@@ -555,14 +620,61 @@ func (c *Cluster) place(p *plan, plans []*plan, self int, s *rng.Stream) bool {
 		}
 		alloc := slurm.NewAllocator(c.Topo)
 		compact := s.Uniform(0.05, 0.95)
-		p.nodes = alloc.AllocAvoiding(p.model.Nodes, compact, busy, s)
+		advise := func() *slurm.PlacementAdvice { return c.placementAdvice(p, plans, self) }
+		p.nodes = c.placer.Place(alloc, p.model.Nodes, compact, busy, advise, s)
 		if p.nodes != nil {
+			c.tm.placements.Add(1)
+			_, ng := slurm.PlacementFeatures(c.Topo, p.nodes)
+			c.tm.placeNodes.Observe(float64(len(p.nodes)))
+			c.tm.placeGroups.Observe(float64(ng))
 			return true
 		}
 		p.start += s.Uniform(1800, 7200)
 		p.estEnd = p.start + est
 	}
 	return false
+}
+
+// placementAdvice builds the deterministic congestion view the
+// interference-aware placement policy consults: expected per-group load
+// over the plan's window from the background timeline (advisor-blamed
+// users' jobs weigh double) plus our own overlapping runs' footprints,
+// with the monitor's cross-sectional hot-spot criterion flagging outlier
+// groups. Everything derives from schedule state — the live monitor feed
+// is observation-only by contract and is never read here.
+func (c *Cluster) placementAdvice(p *plan, plans []*plan, self int) *slurm.PlacementAdvice {
+	adv := &slurm.PlacementAdvice{GroupLoad: make([]float64, c.Topo.Cfg.Groups)}
+	addSet := func(set *netsim.LoadSet, w float64) {
+		if set == nil {
+			return
+		}
+		for i, r := range set.RouterIDs {
+			adv.GroupLoad[c.Topo.Group(r)] += (set.InjFlits[i] + set.EjFlits[i]) * w
+		}
+	}
+	for _, j := range c.Timeline.Overlapping(p.start, p.estEnd) {
+		w := 1.0
+		if c.blamed[j.User.Name()] {
+			w = 2
+			adv.BlamedActive = true
+		}
+		addSet(j.Load, w)
+	}
+	for i, q := range plans {
+		if i != self && q.nodes != nil && q.start < p.estEnd && q.estEnd > p.start {
+			addSet(q.footprint, 1)
+		}
+	}
+	// hotZ 1.5: with ~10 groups a full 3-sigma outlier (the monitor's
+	// per-router default) almost never appears in a cross-section this
+	// small; 1.5 flags the clearly-loaded tail without emptying the pool
+	if hot := monitor.CrossSectionHot(adv.GroupLoad, 1.5); len(hot) > 0 {
+		adv.HotGroups = make(map[topology.GroupID]bool, len(hot))
+		for _, g := range hot {
+			adv.HotGroups[topology.GroupID(g)] = true
+		}
+	}
+	return adv
 }
 
 // planFootprint builds the unit (per-second) footprint used when this run
@@ -594,6 +706,7 @@ func (w *simWorker) simulate(p *plan, plans []*plan, self int) (*dataset.Run, er
 	c := w.c
 	cfg := c.cfg
 	w.net.Board.Reset()
+	w.net.ResetFeedback()
 	runStream := c.root.Split(fmt.Sprintf("run-%d", self))
 	inst, err := p.model.Instantiate(c.Topo, p.nodes, runStream.Split("inst"))
 	if err != nil {

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"dragonvar/internal/routing"
+	"dragonvar/internal/slurm"
+)
+
+// TestCampaignIdenticalAcrossPolicyMatrix extends the engine's core
+// contract over the whole policy surface: for every routing × placement
+// pair, the parallel campaign is byte-identical to the serial one. The
+// feedback and interference policies are the dangerous ones — their inputs
+// (stall EWMAs, placement advice) are derived from simulation state, and
+// any leak of worker-interleaved state into them shows up here.
+func TestCampaignIdenticalAcrossPolicyMatrix(t *testing.T) {
+	for _, rp := range routing.PolicyNames() {
+		for _, pp := range slurm.PlacementPolicyNames() {
+			t.Run(rp+"/"+pp, func(t *testing.T) {
+				cfg := tinyConfig(41)
+				cfg.Net.Routing = rp
+				cfg.Placement = pp
+				if pp == "interference" {
+					cfg.BlamedUsers = []string{"User-2", "User-7"}
+				}
+				serial := campaignHash(t, campaignAtWorkers(t, cfg, 1))
+				if got := campaignHash(t, campaignAtWorkers(t, cfg, 4)); got != serial {
+					t.Fatalf("%s/%s: workers=4 campaign differs from serial", rp, pp)
+				}
+			})
+		}
+	}
+}
+
+// TestPolicyPairsProduceDistinctCampaigns: the knobs actually act — the
+// baseline, a different routing policy, and a different placement policy
+// all yield different campaign bytes for the same seed.
+func TestPolicyPairsProduceDistinctCampaigns(t *testing.T) {
+	base := tinyConfig(41)
+	seen := map[[32]byte]string{}
+	for _, tc := range []struct {
+		name               string
+		routing, placement string
+	}{
+		{"baseline", "", ""},
+		{"minimal", "minimal", ""},
+		{"valiant", "valiant", ""},
+		{"compact", "", "compact"},
+	} {
+		cfg := base
+		cfg.Net.Routing = tc.routing
+		cfg.Placement = tc.placement
+		h := campaignHash(t, campaignAtWorkers(t, cfg, 2))
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("%s produced the same campaign as %s — policy not applied", tc.name, prev)
+		}
+		seen[h] = tc.name
+	}
+}
+
+// TestFaultedFeedbackInterferenceDeterminism is the full stack at once:
+// link/router faults, mid-campaign requeues, the feedback routing loop,
+// and advice-driven placement — still byte-identical across worker counts.
+func TestFaultedFeedbackInterferenceDeterminism(t *testing.T) {
+	cfg := faultyConfig(t, 41)
+	cfg.Net.Routing = "feedback"
+	cfg.Placement = "interference"
+	cfg.BlamedUsers = []string{"User-1"}
+	serial := campaignHash(t, campaignAtWorkers(t, cfg, 1))
+	for _, workers := range []int{2, 4} {
+		if got := campaignHash(t, campaignAtWorkers(t, cfg, workers)); got != serial {
+			t.Fatalf("workers=%d faulted feedback/interference campaign differs from serial", workers)
+		}
+	}
+}
+
+// TestCampaignRecordsPolicies: the campaign carries its policy identity
+// (the cache-check key) for both the default and an explicit pair.
+func TestCampaignRecordsPolicies(t *testing.T) {
+	camp := campaignAtWorkers(t, tinyConfig(41), 2)
+	if camp.Routing != "adaptive" || camp.Placement != "firstfit" {
+		t.Fatalf("default campaign records %q/%q, want adaptive/firstfit", camp.Routing, camp.Placement)
+	}
+	cfg := tinyConfig(41)
+	cfg.Net.Routing = "valiant"
+	cfg.Placement = "compact"
+	camp = campaignAtWorkers(t, cfg, 2)
+	if camp.Routing != "valiant" || camp.Placement != "compact" {
+		t.Fatalf("campaign records %q/%q, want valiant/compact", camp.Routing, camp.Placement)
+	}
+}
+
+// TestClusterRejectsUnknownPolicies: a typo'd policy fails at New, not
+// deep inside a campaign.
+func TestClusterRejectsUnknownPolicies(t *testing.T) {
+	cfg := tinyConfig(41)
+	cfg.Net.Routing = "ugal-x"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted an unknown routing policy")
+	}
+	cfg = tinyConfig(41)
+	cfg.Placement = "round-robin"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted an unknown placement policy")
+	}
+}

@@ -43,9 +43,10 @@ func (c *Cluster) PlanInfo() (numUnits int, digest string, err error) {
 // exact bit patterns.
 func planDigest(cfg Config, plans []*plan) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "dragonvar-plan-v1 seed=%d days=%x faults=%q machine=%+v net=%+v rate=%x noise=%x units=%d\n",
+	fmt.Fprintf(h, "dragonvar-plan-v1 seed=%d days=%x faults=%q machine=%+v net=%+v rate=%x noise=%x units=%d placement=%s blamed=%q\n",
 		cfg.Seed, math.Float64bits(cfg.Days), cfg.FaultSpec, cfg.Machine, cfg.Net,
-		math.Float64bits(cfg.MeanRunsPerDay), math.Float64bits(cfg.CounterNoise), len(plans))
+		math.Float64bits(cfg.MeanRunsPerDay), math.Float64bits(cfg.CounterNoise), len(plans),
+		cfg.Placement, cfg.BlamedUsers)
 	for i, p := range plans {
 		fmt.Fprintf(h, "%d %s %d %x %x %v\n", i, p.model.Name(), p.day,
 			math.Float64bits(p.start), math.Float64bits(p.estEnd), p.nodes)

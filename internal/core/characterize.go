@@ -65,18 +65,20 @@ func LoadOrGenerateCtx(ctx context.Context, cfg CampaignConfig) (*dataset.Campai
 	if cfg.Cluster.Days <= 0 {
 		cfg.Cluster.Days = 130 // keep the cache check consistent with cluster defaults
 	}
+	wantRouting, wantPlacement := cfg.Cluster.EffectivePolicies()
 	if cfg.CachePath != "" {
 		if camp, err := dataset.Load(cfg.CachePath); err == nil {
 			if !camp.Partial && camp.Seed == cfg.Cluster.Seed && camp.Days == cfg.Cluster.Days &&
-				camp.Faults == cfg.Cluster.FaultSpec {
+				camp.Faults == cfg.Cluster.FaultSpec &&
+				camp.Routing == wantRouting && camp.Placement == wantPlacement {
 				telemetry.C(telemetry.MCacheHits).Inc()
 				return camp, nil
 			}
 			if camp.Partial {
 				fmt.Fprintf(os.Stderr, "core: cache %s is a partial campaign; regenerating\n", cfg.CachePath)
 			} else {
-				fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v faults=%q; regenerating\n",
-					cfg.CachePath, camp.Seed, camp.Days, camp.Faults)
+				fmt.Fprintf(os.Stderr, "core: cache %s is for seed=%d days=%v faults=%q routing=%q placement=%q; regenerating\n",
+					cfg.CachePath, camp.Seed, camp.Days, camp.Faults, camp.Routing, camp.Placement)
 			}
 		}
 	}

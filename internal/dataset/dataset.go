@@ -515,8 +515,15 @@ type Campaign struct {
 	// Faults is the fault-spec string the campaign ran under (empty for a
 	// perfect machine). Part of the cache identity: a cache generated with
 	// different faults must not satisfy a request.
-	Faults   string
-	Datasets []*Dataset
+	Faults string
+	// Routing and Placement name the policies the campaign ran under
+	// (netsim routing policy, slurm placement policy). Part of the cache
+	// identity for the same reason as Faults: the same seed produces
+	// different bytes under a different policy pair. Empty in pre-policy
+	// caches, which therefore regenerate once.
+	Routing   string
+	Placement string
+	Datasets  []*Dataset
 	// Partial marks a campaign cut short by cancellation: it carries only
 	// the runs that completed before the interrupt. Partial campaigns are
 	// saved (the work is not lost) but never satisfy a cache lookup.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dragonvar/internal/counters"
+	"dragonvar/internal/monitor"
 	"dragonvar/internal/rng"
 	"dragonvar/internal/routing"
 	"dragonvar/internal/telemetry"
@@ -60,11 +61,32 @@ type Config struct {
 	// Adaptive enables load-aware path splitting. When false the simulator
 	// always uses the first minimal path (the ablation of §VI's related
 	// simulation studies: variability collapses onto fewer links and
-	// hotspots form).
+	// hotspots form). Superseded by Routing; kept as the back-compat
+	// default when Routing is empty.
 	Adaptive bool
+	// Routing names the routing policy ("minimal", "valiant", "adaptive",
+	// "feedback" — see routing.PolicyNames). Empty falls back to the
+	// Adaptive flag: true means "adaptive", false means "minimal".
+	Routing string
+	// NonMinimalBias scales the cost of non-minimal candidates in the
+	// adaptive/feedback split (UGAL's threshold knob); 0 means neutral (1),
+	// reproducing the historical split exactly.
+	NonMinimalBias float64
 	// RelaxationRounds is the number of route/measure iterations per round;
 	// 2 is enough for the split weights to react to the round's own load.
 	RelaxationRounds int
+}
+
+// PolicyName returns the effective routing-policy name: Routing when set,
+// otherwise the Adaptive flag's historical meaning.
+func (c Config) PolicyName() string {
+	if c.Routing != "" {
+		return c.Routing
+	}
+	if c.Adaptive {
+		return "adaptive"
+	}
+	return "minimal"
 }
 
 // DefaultConfig returns the calibration used by the campaign.
@@ -144,8 +166,23 @@ type Network struct {
 	injPkts  []float64
 	ejPkts   []float64
 
-	// path cache: flows between the same router pair recur every step
-	pathCache map[uint64][]routing.Path
+	// routing policy: candidate generation and split weighting are
+	// delegated to one routing.Policy per network (SetPolicy switches)
+	policy routing.Policy
+	// loadOf adapts prevLoad for the policy's LoadFunc view; built once
+	// (prevLoad is never reallocated)
+	loadOf routing.LoadFunc
+	// fb is the deterministic stall-feedback tracker feeding the
+	// "feedback" policy; nil for every other policy
+	fb *monitor.StallFeedback
+
+	// path cache: flows between the same router pair recur every step.
+	// Keyed per policy name — different policies build different candidate
+	// sets for the same pair — with pathCache aliasing the active policy's
+	// map. Fault-epoch invalidation (ResetCache) drops every policy's
+	// entries.
+	pathCaches map[string]map[uint64][]routing.Path
+	pathCache  map[uint64][]routing.Path
 
 	// telemetry handles, captured at construction; nil (no-op) when the
 	// process runs without telemetry. Observation-only: nothing in the
@@ -163,20 +200,20 @@ type Network struct {
 // sampling and must be dedicated to this network.
 func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 	n := &Network{
-		topo:      d,
-		eng:       routing.NewEngine(d),
-		cfg:       cfg,
-		Board:     counters.NewBoard(d.Cfg.NumRouters()),
-		s:         s,
-		linkLoad:  make([]float64, len(d.Links)),
-		linkCap:   make([]float64, len(d.Links)),
-		prevLoad:  make([]float64, len(d.Links)),
-		bgLoad:    make([]float64, len(d.Links)),
-		injFlits:  make([]float64, d.Cfg.NumRouters()),
-		ejFlits:   make([]float64, d.Cfg.NumRouters()),
-		injPkts:   make([]float64, d.Cfg.NumRouters()),
-		ejPkts:    make([]float64, d.Cfg.NumRouters()),
-		pathCache: make(map[uint64][]routing.Path),
+		topo:       d,
+		eng:        routing.NewEngine(d),
+		cfg:        cfg,
+		Board:      counters.NewBoard(d.Cfg.NumRouters()),
+		s:          s,
+		linkLoad:   make([]float64, len(d.Links)),
+		linkCap:    make([]float64, len(d.Links)),
+		prevLoad:   make([]float64, len(d.Links)),
+		bgLoad:     make([]float64, len(d.Links)),
+		injFlits:   make([]float64, d.Cfg.NumRouters()),
+		ejFlits:    make([]float64, d.Cfg.NumRouters()),
+		injPkts:    make([]float64, d.Cfg.NumRouters()),
+		ejPkts:     make([]float64, d.Cfg.NumRouters()),
+		pathCaches: make(map[string]map[uint64][]routing.Path),
 
 		tmCacheHits:   telemetry.C(telemetry.MNetsimCacheHits),
 		tmCacheMisses: telemetry.C(telemetry.MNetsimCacheMisses),
@@ -197,7 +234,62 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 		}
 	}
 	copy(n.linkCap, n.baseCap)
+	n.loadOf = func(l topology.LinkID) float64 { return n.prevLoad[l] }
+	if err := n.SetPolicy(cfg.PolicyName()); err != nil {
+		// configs are validated where they enter the system (cluster.New,
+		// the CLIs); by this point an unknown name is a programming error
+		panic(err)
+	}
 	return n
+}
+
+// SetPolicy switches the network to the named routing policy. Each
+// policy's candidate paths are cached separately, so switching back and
+// forth never mixes candidate sets; fault-epoch invalidation still clears
+// every policy's cache. The "feedback" policy additionally attaches a
+// deterministic per-network stall tracker (see monitor.StallFeedback),
+// reset per run via ResetFeedback.
+func (n *Network) SetPolicy(name string) error {
+	pcfg := routing.PolicyConfig{
+		MaxMinimal:     n.cfg.MaxMinimal,
+		MaxValiant:     n.cfg.MaxValiant,
+		NonMinimalBias: n.cfg.NonMinimalBias,
+	}
+	if name == "feedback" {
+		if n.fb == nil {
+			n.fb = monitor.NewStallFeedback(n.topo.Cfg.Groups, 0)
+		}
+		fb := n.fb
+		pcfg.GroupStall = func(g topology.GroupID) float64 { return fb.Ratio(int(g)) }
+	}
+	pol, err := routing.NewPolicy(name, pcfg)
+	if err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
+	n.policy = pol
+	if name != "feedback" {
+		n.fb = nil
+	}
+	cache, ok := n.pathCaches[name]
+	if !ok {
+		cache = make(map[uint64][]routing.Path)
+		n.pathCaches[name] = cache
+	}
+	n.pathCache = cache
+	return nil
+}
+
+// Policy returns the name of the active routing policy.
+func (n *Network) Policy() string { return n.policy.Name() }
+
+// ResetFeedback clears the stall-feedback state read by the "feedback"
+// policy; a no-op under any other policy. Campaign workers call this next
+// to Board.Reset before every run, so a run's feedback trajectory — like
+// its counters — depends only on the run itself.
+func (n *Network) ResetFeedback() {
+	if n.fb != nil {
+		n.fb.Reset()
+	}
 }
 
 // SetLinkHealth applies a fault view to the fabric: each link's capacity
@@ -261,11 +353,7 @@ func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
 		return p
 	}
 	n.tmCacheMisses.Add(1)
-	opt := routing.CandidateOptions{MaxMinimal: n.cfg.MaxMinimal, MaxValiant: n.cfg.MaxValiant}
-	if !n.cfg.Adaptive {
-		opt = routing.CandidateOptions{MaxMinimal: 1, MaxValiant: 0}
-	}
-	p := n.eng.Candidates(a, b, opt, n.s.Split(fmt.Sprintf("pair-%d-%d", a, b)))
+	p := n.policy.Candidates(n.eng, a, b, n.s.Split(fmt.Sprintf("pair-%d-%d", a, b)))
 	n.pathCache[key] = p
 	return p
 }
@@ -452,32 +540,10 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 			}
 			paths := routed.paths[i]
 			weights := routed.weights[i]
-			if n.cfg.Adaptive {
-				// inverse-cost split, inlined for speed
-				var total float64
-				for j, p := range paths {
-					cost := 0.0
-					for _, l := range p.Links {
-						cost += 1 + n.prevLoad[l]
-					}
-					w := 1 / (cost + 1e-9)
-					weights[j] = w
-					total += w
-				}
-				if total > 0 {
-					inv := 1 / total
-					for j := range weights {
-						weights[j] *= inv
-					}
-				}
-			} else {
-				for j := range weights {
-					weights[j] = 0
-				}
-				if len(weights) > 0 {
-					weights[0] = 1
-				}
-			}
+			// the policy's load-aware split; for the adaptive policy with
+			// neutral bias this reproduces the historical inverse-cost
+			// split bit for bit
+			n.policy.SplitWeights(n.eng, paths, n.loadOf, weights)
 			for j, p := range paths {
 				share := f.Flits * weights[j]
 				if share == 0 {
@@ -536,6 +602,13 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 
 	n.accumulateTransitCounters(duration)
 	n.accumulateEndpointCounters(flows, duration)
+	if n.fb != nil {
+		// fold this round's per-group stall/flit deltas into the feedback
+		// EWMAs; the feedback policy reads them from the NEXT round on, so
+		// the loop is causal and the round's own result stays a pure
+		// function of its inputs
+		n.fb.Commit()
+	}
 
 	// Per-flow slowdowns: transit queueing along the flow's weighted paths
 	// plus endpoint queueing at its source and destination.
@@ -602,6 +675,11 @@ func (n *Network) accumulateTransitCounters(duration float64) {
 		half := load / 2
 		pkts := load / n.cfg.FlitsPerPacket / 2
 		stHalf := stalls / 2
+		if n.fb != nil {
+			// the same Δstall/Δflit the monitor's group rollup consumes
+			n.fb.Accumulate(int(n.topo.Group(l.A)), stHalf, half)
+			n.fb.Accumulate(int(n.topo.Group(l.B)), stHalf, half)
+		}
 		// 2X usage grows superlinearly with utilization: both stall events
 		// in a cycle require sustained backpressure.
 		twoX := stHalf * math.Min(u, 1)
@@ -670,9 +748,15 @@ func (n *Network) accumulateEndpointCounters(flows []Flow, duration float64) {
 	}
 }
 
-// ResetCache clears the path cache; call between campaigns if memory is a
-// concern (the cache grows with the number of distinct router pairs seen).
+// ResetCache clears every policy's path cache — fault-epoch changes
+// invalidate candidates no matter which policy computed them. Also call
+// between campaigns if memory is a concern (the cache grows with the
+// number of distinct router pairs seen).
 func (n *Network) ResetCache() {
 	n.tmCacheInval.Add(1)
+	for name := range n.pathCaches {
+		delete(n.pathCaches, name)
+	}
 	n.pathCache = make(map[uint64][]routing.Path)
+	n.pathCaches[n.policy.Name()] = n.pathCache
 }

@@ -1,0 +1,148 @@
+package slurm
+
+import (
+	"testing"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+func placementTopo(t *testing.T) *topology.Dragonfly {
+	t.Helper()
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlacementPolicyRegistry(t *testing.T) {
+	names := PlacementPolicyNames()
+	want := []string{"compact", "firstfit", "interference"}
+	if len(names) != len(want) {
+		t.Fatalf("PlacementPolicyNames() = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("PlacementPolicyNames() = %v, want %v", names, want)
+		}
+		if !ValidPlacementPolicy(n) {
+			t.Errorf("ValidPlacementPolicy(%q) = false", n)
+		}
+		p, err := NewPlacementPolicy(n)
+		if err != nil {
+			t.Fatalf("NewPlacementPolicy(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("NewPlacementPolicy(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if ValidPlacementPolicy("round-robin") {
+		t.Error("ValidPlacementPolicy accepted an unknown name")
+	}
+	if _, err := NewPlacementPolicy("round-robin"); err == nil {
+		t.Error("NewPlacementPolicy accepted an unknown name")
+	}
+}
+
+// TestFirstFitMatchesAllocator: firstfit is the historical behavior
+// verbatim — identical streams produce identical node lists.
+func TestFirstFitMatchesAllocator(t *testing.T) {
+	d := placementTopo(t)
+	p, _ := NewPlacementPolicy("firstfit")
+	got := p.Place(NewAllocator(d), 16, 0.3, nil, nil, rng.New(5))
+	want := NewAllocator(d).AllocAvoiding(16, 0.3, nil, rng.New(5))
+	if len(got) != len(want) {
+		t.Fatalf("firstfit %d nodes, allocator %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: firstfit %v, allocator %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompactSpansFewerGroups: with the scheduler's drawn compactness at
+// the fragmented end, the compact policy still pins to 0.95 and lands the
+// job on no more groups than firstfit does.
+func TestCompactSpansFewerGroups(t *testing.T) {
+	d := placementTopo(t)
+	ff, _ := NewPlacementPolicy("firstfit")
+	cp, _ := NewPlacementPolicy("compact")
+	const n = 24
+	ffNodes := ff.Place(NewAllocator(d), n, 0.05, nil, nil, rng.New(9))
+	cpNodes := cp.Place(NewAllocator(d), n, 0.05, nil, nil, rng.New(9))
+	if ffNodes == nil || cpNodes == nil {
+		t.Fatal("placement failed on an empty machine")
+	}
+	_, ffGroups := PlacementFeatures(d, ffNodes)
+	_, cpGroups := PlacementFeatures(d, cpNodes)
+	if cpGroups > ffGroups {
+		t.Fatalf("compact spans %d groups, firstfit %d", cpGroups, ffGroups)
+	}
+}
+
+// TestInterferenceAvoidsHotGroups: nodes never land in a flagged group
+// while the machine has room elsewhere, and the avoidance degrades
+// gracefully (rather than starving the job) when it doesn't fit.
+func TestInterferenceAvoidsHotGroups(t *testing.T) {
+	d := placementTopo(t)
+	p, _ := NewPlacementPolicy("interference")
+	hot := topology.GroupID(0)
+	adv := &PlacementAdvice{HotGroups: map[topology.GroupID]bool{hot: true}}
+	advise := func() *PlacementAdvice { return adv }
+	nodes := p.Place(NewAllocator(d), 16, 0.5, nil, advise, rng.New(3))
+	if nodes == nil {
+		t.Fatal("interference placement failed with one hot group")
+	}
+	for _, n := range nodes {
+		if g := d.Group(d.RouterOfNode(n)); g == hot {
+			t.Fatalf("node %v landed in hot group %d", n, g)
+		}
+	}
+
+	// every group hot: the advice cannot be honored, the job still places
+	allHot := &PlacementAdvice{HotGroups: map[topology.GroupID]bool{}}
+	for g := 0; g < d.Cfg.Groups; g++ {
+		allHot.HotGroups[topology.GroupID(g)] = true
+	}
+	nodes = p.Place(NewAllocator(d), 16, 0.5, nil, func() *PlacementAdvice { return allHot }, rng.New(3))
+	if nodes == nil {
+		t.Fatal("interference starved the job when the advice did not fit")
+	}
+}
+
+// TestInterferenceWithoutSignalIsPlainAlloc: no hot groups and no blame →
+// the same nodes as a plain allocation with the same stream.
+func TestInterferenceWithoutSignalIsPlainAlloc(t *testing.T) {
+	d := placementTopo(t)
+	p, _ := NewPlacementPolicy("interference")
+	advise := func() *PlacementAdvice { return &PlacementAdvice{} }
+	got := p.Place(NewAllocator(d), 12, 0.4, nil, advise, rng.New(11))
+	want := NewAllocator(d).AllocAvoiding(12, 0.4, nil, rng.New(11))
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: interference %v, plain %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInterferenceCompactsUnderBlame: an active blamed user shrinks the
+// job's cross-section (fewer groups) compared to the unblamed placement.
+func TestInterferenceCompactsUnderBlame(t *testing.T) {
+	d := placementTopo(t)
+	p, _ := NewPlacementPolicy("interference")
+	const n = 24
+	calm := p.Place(NewAllocator(d), n, 0.05, nil,
+		func() *PlacementAdvice { return &PlacementAdvice{} }, rng.New(2))
+	noisy := p.Place(NewAllocator(d), n, 0.05, nil,
+		func() *PlacementAdvice { return &PlacementAdvice{BlamedActive: true} }, rng.New(2))
+	if calm == nil || noisy == nil {
+		t.Fatal("placement failed on an empty machine")
+	}
+	_, calmGroups := PlacementFeatures(d, calm)
+	_, noisyGroups := PlacementFeatures(d, noisy)
+	if noisyGroups > calmGroups {
+		t.Fatalf("blame active spans %d groups, calm %d", noisyGroups, calmGroups)
+	}
+}

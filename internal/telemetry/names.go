@@ -23,6 +23,19 @@ const (
 	MNetsimRoundSecs   = "netsim/round_seconds"            // histogram: wall time per round
 	GNetsimMaxUtil     = "netsim/max_link_utilization"     // gauge: max link utilization of the last routed round
 
+	// internal/routing — pluggable routing-policy decisions.
+	MRoutingCandidateSets = "routing/candidate_sets_total"        // counter: candidate sets built (one per path-cache miss)
+	MRoutingMinimal       = "routing/minimal_candidates_total"    // counter: minimal candidates returned across all sets
+	MRoutingNonMinimal    = "routing/nonminimal_candidates_total" // counter: non-minimal (Valiant/BFS) candidates returned
+	MRoutingBFSFallback   = "routing/bfs_fallbacks_total"         // counter: faults blocked every structured candidate; healthy-BFS route used
+
+	// internal/slurm + internal/cluster — pluggable placement-policy decisions.
+	MSlurmPlacements      = "slurm/placements_total"         // counter: successful policy placements
+	MSlurmPlacementNodes  = "slurm/placement_nodes"          // histogram: nodes handed out per placement
+	MSlurmPlacementGroups = "slurm/placement_groups"         // histogram: groups spanned per placement
+	MSlurmHotGroupAvoided = "slurm/hot_groups_avoided_total" // counter: hot groups excluded by interference-aware placement
+	MSlurmAdviceFallback  = "slurm/advice_fallbacks_total"   // counter: interference-aware placements that had to ignore the advice to fit
+
 	// internal/monitor — the streaming network-weather monitor.
 	MMonitorSamples   = "monitor/samples_total"         // counter: healthy observations consumed
 	MMonitorEvents    = "monitor/events_total"          // counter: anomaly events emitted
@@ -75,21 +88,21 @@ const (
 
 	// internal/dist — the distributed campaign layer (coordinator unless
 	// noted; the client-retry counter is recorded by worker processes).
-	MDistLeasesGranted    = "dist/leases_granted_total"      // counter: work-unit leases handed to workers
-	MDistLeaseExpired     = "dist/lease_expired_total"       // counter: leases that hit their deadline unanswered
-	MDistLeaseRedispatch  = "dist/lease_redispatched_total"  // counter: units re-queued after expiry, worker death, or a malformed result
-	MDistResults          = "dist/results_total"             // counter: unit results accepted
-	MDistResultsMalformed = "dist/results_malformed_total"   // counter: results rejected as undecodable or inconsistent
-	MDistResultsStale     = "dist/results_stale_total"       // counter: results for already-completed or out-of-round units
-	MDistWorkerDeaths     = "dist/worker_deaths_total"       // counter: workers declared dead after missed heartbeats
-	MDistCheckpointRecs   = "dist/checkpoint_records_total"  // counter: outcome records appended to the spill file
-	MDistResumedUnits     = "dist/resumed_units_total"       // counter: units satisfied from the checkpoint on resume
-	MDistClientRetries    = "dist/client_retries_total"      // counter: worker-side RPC retries (transient coordinator errors)
-	MDistHeartbeatGap     = "dist/heartbeat_gap_seconds"     // histogram: gap between consecutive signs of life per worker
-	MDistWorkerUnits      = "dist/worker_units"              // histogram: units completed per worker, observed at campaign end
-	GDistWorkers          = "dist/workers"                   // gauge: workers currently considered alive
-	GDistPendingUnits     = "dist/pending_units"             // gauge: units of the current round not yet completed
-	GDistLeasedUnits      = "dist/leased_units"              // gauge: units currently out on a lease
+	MDistLeasesGranted    = "dist/leases_granted_total"     // counter: work-unit leases handed to workers
+	MDistLeaseExpired     = "dist/lease_expired_total"      // counter: leases that hit their deadline unanswered
+	MDistLeaseRedispatch  = "dist/lease_redispatched_total" // counter: units re-queued after expiry, worker death, or a malformed result
+	MDistResults          = "dist/results_total"            // counter: unit results accepted
+	MDistResultsMalformed = "dist/results_malformed_total"  // counter: results rejected as undecodable or inconsistent
+	MDistResultsStale     = "dist/results_stale_total"      // counter: results for already-completed or out-of-round units
+	MDistWorkerDeaths     = "dist/worker_deaths_total"      // counter: workers declared dead after missed heartbeats
+	MDistCheckpointRecs   = "dist/checkpoint_records_total" // counter: outcome records appended to the spill file
+	MDistResumedUnits     = "dist/resumed_units_total"      // counter: units satisfied from the checkpoint on resume
+	MDistClientRetries    = "dist/client_retries_total"     // counter: worker-side RPC retries (transient coordinator errors)
+	MDistHeartbeatGap     = "dist/heartbeat_gap_seconds"    // histogram: gap between consecutive signs of life per worker
+	MDistWorkerUnits      = "dist/worker_units"             // histogram: units completed per worker, observed at campaign end
+	GDistWorkers          = "dist/workers"                  // gauge: workers currently considered alive
+	GDistPendingUnits     = "dist/pending_units"            // gauge: units of the current round not yet completed
+	GDistLeasedUnits      = "dist/leased_units"             // gauge: units currently out on a lease
 )
 
 // Serving bucket layouts. Like the layouts in telemetry.go these are fixed
@@ -124,6 +137,8 @@ const (
 var AllMetricNames = []string{
 	MEngineMaps, MEngineShards, MEngineShardWait, MEngineShardRun, MEngineMapSeconds, GEngineWorkers,
 	MNetsimCacheHits, MNetsimCacheMisses, MNetsimCacheInval, MNetsimRounds, MNetsimRoundFlits, MNetsimRoundSecs, GNetsimMaxUtil,
+	MRoutingCandidateSets, MRoutingMinimal, MRoutingNonMinimal, MRoutingBFSFallback,
+	MSlurmPlacements, MSlurmPlacementNodes, MSlurmPlacementGroups, MSlurmHotGroupAvoided, MSlurmAdviceFallback,
 	MMonitorSamples, MMonitorEvents, GMonitorHot, GMonitorCongested, GMonitorMaxStall, GMonitorGapFrac, GMonitorLastT,
 	MClusterRuns, MClusterDrained, MClusterRequeues, MClusterAbandoned, MClusterRounds, MClusterRunSecs, MClusterMergeSecs,
 	MLDMSSamples,
