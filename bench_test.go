@@ -454,12 +454,9 @@ func BenchmarkAblationPlacementWhatIf(b *testing.B) {
 
 // --- component microbenchmarks ---
 
-func BenchmarkNetsimRound(b *testing.B) {
-	d, err := topology.New(topology.Small())
-	if err != nil {
-		b.Fatal(err)
-	}
-	n := netsim.New(d, netsim.DefaultConfig(), rng.New(1))
+// benchRoundFlows builds the standard 256-flow round-loop workload.
+func benchRoundFlows(b *testing.B, d *topology.Dragonfly) []netsim.Flow {
+	b.Helper()
 	var flows []netsim.Flow
 	for g := 0; g < 8; g++ {
 		for c := 0; c < 32; c++ {
@@ -472,12 +469,33 @@ func BenchmarkNetsimRound(b *testing.B) {
 			})
 		}
 	}
-	routed := n.Resolve(flows)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.RunRoundRouted(flows, routed, nil, 1.0)
+	return flows
+}
+
+// BenchmarkNetsimRound times one simulation round per routing policy over
+// pre-resolved routes — the campaign's hot path. The serial round-loop
+// throughput numbers in docs/PERFORMANCE.md and the BENCH_engine.json
+// ledger come from this workload shape.
+func BenchmarkNetsimRound(b *testing.B) {
+	for _, pol := range []string{"adaptive", "minimal"} {
+		b.Run(pol, func(b *testing.B) {
+			d, err := topology.New(topology.Small())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := netsim.DefaultConfig()
+			cfg.Routing = pol
+			n := netsim.New(d, cfg, rng.New(1))
+			n.ReuseSlowdowns(true)
+			flows := benchRoundFlows(b, d)
+			routed := n.Resolve(flows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.RunRoundRouted(flows, routed, nil, 1.0)
+			}
+			reportMetric(b, float64(len(flows)), "flows")
+		})
 	}
-	reportMetric(b, float64(len(flows)), "flows")
 }
 
 func BenchmarkCampaignDay(b *testing.B) {

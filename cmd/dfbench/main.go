@@ -31,6 +31,8 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/dataset"
+	"dragonvar/internal/netsim"
+	"dragonvar/internal/rng"
 	"dragonvar/internal/stats"
 	"dragonvar/internal/telemetry"
 	"dragonvar/internal/topology"
@@ -55,9 +57,18 @@ type result struct {
 	SerialSecStd    float64 `json:"serial_sec_std"`
 	SerialSecStdRel float64 `json:"serial_sec_std_rel"`
 	ParallelSec     float64 `json:"parallel_sec"`
-	Speedup         float64 `json:"speedup"`
-	Identical       bool    `json:"identical"`
-	Hash            string  `json:"campaign_sha256"`
+	// parallel timings get the same reps treatment as serial ones, and the
+	// speedup is the ratio of the two means
+	ParallelSecMean   float64 `json:"parallel_sec_mean"`
+	ParallelSecStd    float64 `json:"parallel_sec_std"`
+	ParallelSecStdRel float64 `json:"parallel_sec_std_rel"`
+	Speedup           float64 `json:"speedup"`
+	// single-worker round-loop throughput on the fixed 256-flow microbench
+	// workload (internal/netsim RunRoundRouted, same shape as the repo's
+	// BenchmarkNetsimRound), so the hot-path trend is visible per ledger row
+	RoundLoopNsOp float64 `json:"round_loop_ns_op"`
+	Identical     bool    `json:"identical"`
+	Hash          string  `json:"campaign_sha256"`
 }
 
 func main() {
@@ -69,6 +80,7 @@ func main() {
 	placementPolicy := flag.String("placement", "", "placement policy to benchmark (empty = firstfit)")
 	reps := flag.Int("reps", 1, "serial measurement repetitions for the mean/std/std_rel timing row")
 	out := flag.String("out", "BENCH_engine.json", "output JSON ledger; existing entries are kept and the new row appended")
+	allowHashChange := flag.Bool("allow-hash-change", false, "permit appending a row whose campaign hash differs from the previous same-config ledger entry (required after intentional behavior changes)")
 	tmPath := flag.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -121,39 +133,62 @@ func main() {
 			rep+1, *reps, camp.TotalRuns(), sec)
 	}
 
-	parCamp, parSec, err := timeCampaign(cfg, *workers)
-	if err != nil {
-		fatal(err)
+	var parCamp *dataset.Campaign
+	var pw stats.Welford
+	parSec := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		camp, sec, err := timeCampaign(cfg, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		pw.Add(sec)
+		if rep == 0 {
+			parCamp, parSec = camp, sec
+		} else if campaignHash(camp) != campaignHash(parCamp) {
+			fatal(fmt.Errorf("DETERMINISM VIOLATION: parallel rep %d differs from rep 0", rep))
+		}
+		fmt.Fprintf(os.Stderr, "parallel (workers=%d, rep %d/%d): %d runs in %.2fs\n",
+			*workers, rep+1, *reps, camp.TotalRuns(), sec)
 	}
-	fmt.Fprintf(os.Stderr, "parallel (workers=%d): %d runs in %.2fs\n", *workers, parCamp.TotalRuns(), parSec)
 
 	h1, h2 := campaignHash(serialCamp), campaignHash(parCamp)
 	routingName, placementName := cfg.EffectivePolicies()
+	roundNs := measureRoundLoop(cfg)
+	fmt.Fprintf(os.Stderr, "round loop (%s, 256 flows): %.0f ns/op\n", routingName, roundNs)
 	res := result{
-		Benchmark:     "campaign-engine",
-		CPUs:          runtime.NumCPU(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Machine:       machine,
-		Days:          *days,
-		Seed:          *seed,
-		Runs:          serialCamp.TotalRuns(),
-		Workers:       *workers,
-		Routing:       routingName,
-		Placement:     placementName,
-		SerialSec:     serialSec,
-		Reps:          *reps,
-		SerialSecMean: w.Mean(),
-		SerialSecStd:  w.Std(),
-		ParallelSec:   parSec,
-		Speedup:       w.Mean() / parSec,
-		Identical:     h1 == h2,
-		Hash:          hex.EncodeToString(h1[:8]),
+		Benchmark:       "campaign-engine",
+		CPUs:            runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Machine:         machine,
+		Days:            *days,
+		Seed:            *seed,
+		Runs:            serialCamp.TotalRuns(),
+		Workers:         *workers,
+		Routing:         routingName,
+		Placement:       placementName,
+		SerialSec:       serialSec,
+		Reps:            *reps,
+		SerialSecMean:   w.Mean(),
+		SerialSecStd:    w.Std(),
+		ParallelSec:     parSec,
+		ParallelSecMean: pw.Mean(),
+		ParallelSecStd:  pw.Std(),
+		Speedup:         w.Mean() / pw.Mean(),
+		RoundLoopNsOp:   roundNs,
+		Identical:       h1 == h2,
+		Hash:            hex.EncodeToString(h1[:8]),
 	}
 	if res.SerialSecMean > 0 {
 		res.SerialSecStdRel = res.SerialSecStd / res.SerialSecMean
 	}
+	if res.ParallelSecMean > 0 {
+		res.ParallelSecStdRel = res.ParallelSecStd / res.ParallelSecMean
+	}
 	if !res.Identical {
 		fatal(fmt.Errorf("DETERMINISM VIOLATION: workers=1 and workers=%d campaigns differ", *workers))
+	}
+	if err := checkHashContinuity(*out, res, *allowHashChange); err != nil {
+		fatal(err)
 	}
 
 	blob, err := appendLedger(*out, res)
@@ -201,6 +236,94 @@ func appendLedger(path string, res result) ([]byte, error) {
 	out = append(out, '\n')
 	return out, os.WriteFile(path, out, 0o644)
 }
+
+// measureRoundLoop times the single-worker netsim round loop on the fixed
+// 256-flow microbench workload (the same shape as the repo's
+// BenchmarkNetsimRound), so every ledger row carries a hot-path throughput
+// number alongside the campaign timings.
+func measureRoundLoop(cfg cluster.Config) float64 {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		fatal(err)
+	}
+	ncfg := netsim.DefaultConfig()
+	if cfg.Net.Routing != "" {
+		ncfg.Routing = cfg.Net.Routing
+	}
+	n := netsim.New(d, ncfg, rng.New(1))
+	n.ReuseSlowdowns(true)
+	var flows []netsim.Flow
+	for g := 0; g < 8; g++ {
+		for c := 0; c < 32; c++ {
+			flows = append(flows, netsim.Flow{
+				Src:             d.RouterAt(topology.GroupID(g), c%4, c%6),
+				Dst:             d.RouterAt(topology.GroupID((g+3)%9), (c+1)%4, (c+2)%6),
+				Flits:           1e8,
+				Packets:         1e4,
+				RequestFraction: 0.8,
+			})
+		}
+	}
+	routed := n.Resolve(flows)
+	for i := 0; i < 16; i++ { // warm the caches before timing
+		n.RunRoundRouted(flows, routed, nil, 1.0)
+	}
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		n.RunRoundRouted(flows, routed, nil, 1.0)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// checkHashContinuity refuses to append a row whose campaign hash differs
+// from the most recent ledger entry with the same configuration, unless the
+// -allow-hash-change flag is set. The ledger's hashes are the repo's
+// determinism anchors; silently appending a changed hash would let a
+// behavior regression masquerade as timing noise.
+func checkHashContinuity(path string, res result, allow bool) error {
+	old, err := os.ReadFile(path)
+	if err != nil {
+		return nil // no ledger yet — nothing to be continuous with
+	}
+	trimmed := bytes.TrimSpace(old)
+	if len(trimmed) == 0 {
+		return nil
+	}
+	var entries []map[string]interface{}
+	if trimmed[0] == '[' {
+		if json.Unmarshal(trimmed, &entries) != nil {
+			return nil // appendLedger reports malformed ledgers
+		}
+	} else {
+		var one map[string]interface{}
+		if json.Unmarshal(trimmed, &one) != nil {
+			return nil
+		}
+		entries = append(entries, one)
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if jstr(e["benchmark"]) != res.Benchmark || jstr(e["machine"]) != res.Machine ||
+			jnum(e["days"]) != res.Days || jnum(e["seed"]) != float64(res.Seed) ||
+			jstr(e["routing"]) != res.Routing || jstr(e["placement"]) != res.Placement {
+			continue
+		}
+		prev := jstr(e["campaign_sha256"])
+		if prev == "" || prev == res.Hash {
+			return nil
+		}
+		if !allow {
+			return fmt.Errorf("campaign hash %s differs from previous same-config ledger row (%s); rerun with -allow-hash-change if the behavior change is intentional", res.Hash, prev)
+		}
+		fmt.Fprintf(os.Stderr, "dfbench: note: campaign hash changed %s -> %s (allowed by flag)\n", prev, res.Hash)
+		return nil
+	}
+	return nil
+}
+
+func jstr(v interface{}) string  { s, _ := v.(string); return s }
+func jnum(v interface{}) float64 { f, _ := v.(float64); return f }
 
 func timeCampaign(cfg cluster.Config, workers int) (*dataset.Campaign, float64, error) {
 	cfg.Workers = workers

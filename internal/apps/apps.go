@@ -300,10 +300,21 @@ type Instance struct {
 	ioPackets   float64
 }
 
-// Instantiate places the model on the given nodes and builds its traffic
-// pattern. The stream provides the per-run noise factor and must be the
-// run's dedicated stream.
-func (m *Model) Instantiate(topo *topology.Dragonfly, nodes []topology.NodeID, s *rng.Stream) (*Instance, error) {
+// BuiltPattern is the stream-independent half of an instantiation: the
+// rank mapping and router-level traffic pattern a placement determines.
+// Building it is the expensive part of Instantiate (stencil expansion,
+// aggregation, downsampling), and it depends only on (model, topology,
+// node list) — never on the run's random stream — so campaign schedulers
+// build it once per placement and stamp out per-run Instances with
+// InstantiateWith.
+type BuiltPattern struct {
+	Mapper  *mpi.RankMapper
+	Pattern *mpi.Pattern
+}
+
+// BuildPattern places the model on the given nodes and builds its traffic
+// pattern. Deterministic: no random stream is consumed.
+func (m *Model) BuildPattern(topo *topology.Dragonfly, nodes []topology.NodeID) (*BuiltPattern, error) {
 	if len(nodes) != m.Nodes {
 		return nil, fmt.Errorf("apps: %s expects %d nodes, placement has %d", m.Name(), m.Nodes, len(nodes))
 	}
@@ -343,21 +354,39 @@ func (m *Model) Instantiate(topo *topology.Dragonfly, nodes []topology.NodeID, s
 
 	// cap the router-pair count: beyond ~1500 pairs the extra pairs carry
 	// negligible volume but dominate simulation cost
-	pattern := b.Build().Downsample(1500)
+	return &BuiltPattern{Mapper: mapper, Pattern: b.Build().Downsample(1500)}, nil
+}
 
+// InstantiateWith stamps a run-specific Instance out of a prebuilt
+// pattern. It consumes exactly one Normal draw from the stream — the
+// per-run noise factor — which is the entire stream consumption of
+// Instantiate, so Instantiate(topo, nodes, s) and
+// InstantiateWith(BuildPattern(topo, nodes), s) leave s in identical
+// states and produce identical Instances.
+func (m *Model) InstantiateWith(bp *BuiltPattern, s *rng.Stream) *Instance {
 	totalBytes := m.BytesPerNode * float64(m.Nodes)
 	ioBytes := m.IOBytesPerNode * float64(m.Nodes)
-	inst := &Instance{
+	return &Instance{
 		Model:       m,
-		Mapper:      mapper,
-		pattern:     pattern,
+		Mapper:      bp.Mapper,
+		pattern:     bp.Pattern,
 		runFactor:   math.Exp(s.Normal(0, m.RunNoise)),
 		stepFlits:   mpi.FlitsFor(totalBytes),
 		stepPackets: math.Ceil(totalBytes / m.MsgBytes), // message count drives endpoint processing
 		ioFlits:     mpi.FlitsFor(ioBytes),
 		ioPackets:   math.Ceil(ioBytes / (1 << 20)), // I/O moves in ~1 MiB transfers
 	}
-	return inst, nil
+}
+
+// Instantiate places the model on the given nodes and builds its traffic
+// pattern. The stream provides the per-run noise factor and must be the
+// run's dedicated stream.
+func (m *Model) Instantiate(topo *topology.Dragonfly, nodes []topology.NodeID, s *rng.Stream) (*Instance, error) {
+	bp, err := m.BuildPattern(topo, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return m.InstantiateWith(bp, s), nil
 }
 
 // Routers returns the routers of the instance's placement.

@@ -154,6 +154,15 @@ type Cluster struct {
 	root     *rng.Stream
 	curEpoch int // fault epoch currently applied to Net
 
+	// pathCache is the campaign-wide shared candidate-path cache. Every
+	// network of this cluster (Net and the per-worker networks) is split
+	// from the same root with the same label, so their candidate
+	// resolution is bit-identical and they can safely pool resolved
+	// paths: a pair any of them resolves is resolved once per
+	// (policy, dead-set) epoch for the whole campaign instead of once
+	// per worker.
+	pathCache *netsim.PathCache
+
 	// placer decides where controlled runs land; blamed is the advisor
 	// blame list as a set (read only by the interference-aware policy).
 	placer slurm.PlacementPolicy
@@ -227,11 +236,13 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	root := rng.New(cfg.Seed)
+	shared := netsim.NewPathCache()
 	net := netsim.New(topo, cfg.Net, root.Split("netsim"))
+	net.SharePathCache(shared)
 	tl := slurm.Generate(net, slurm.GenerateConfig{Days: cfg.Days, Users: cfg.Users, Faults: sched, Workers: cfg.Workers},
 		root.Split("timeline"))
 	return &Cluster{cfg: cfg, Topo: topo, Net: net, Timeline: tl, Faults: sched, root: root, curEpoch: -1,
-		placer: placer, blamed: blamed, tm: newClusterMetrics()}, nil
+		pathCache: shared, placer: placer, blamed: blamed, tm: newClusterMetrics()}, nil
 }
 
 // applyFaultsTo derates net to the fault state at time t, tracking the
@@ -275,6 +286,7 @@ type simWorker struct {
 	net        *netsim.Network
 	curEpoch   int
 	sysRouters []topology.RouterID // scratch, reused per run
+	mineMask   []bool              // scratch: the run's own-router set
 	before     *counters.Board     // scratch snapshot, reused per step
 	monDeltas  []float64           // scratch for the Monitor feed; nil when unmonitored
 }
@@ -284,8 +296,14 @@ func (c *Cluster) newSimWorker() *simWorker {
 		c:        c,
 		net:      netsim.New(c.Topo, c.cfg.Net, c.root.Split("netsim")),
 		curEpoch: -1,
+		mineMask: make([]bool, c.Topo.Cfg.NumRouters()),
 		before:   counters.NewBoard(c.Topo.Cfg.NumRouters()),
 	}
+	// workers pool resolved candidate paths (identically seeded networks)
+	// and consume each round's slowdowns before the next, so the shared
+	// cache and the reused slowdown buffer are both safe
+	w.net.SharePathCache(c.pathCache)
+	w.net.ReuseSlowdowns(true)
 	if c.cfg.Monitor != nil {
 		w.monDeltas = make([]float64, c.Topo.Cfg.NumRouters()*LDMSSeriesPerRouter)
 	}
@@ -314,9 +332,29 @@ type plan struct {
 	// approximate unit footprint (flits/s) used when this run appears in
 	// the background of another of our runs
 	footprint *netsim.LoadSet
+	// pat is the placement's prebuilt traffic pattern (apps.BuildPattern),
+	// shared by the footprint estimate and the run simulation — pattern
+	// expansion is deterministic given the node list, so it is built once
+	// per placement instead of once per consumer. Reset whenever nodes
+	// change (requeue). Written by the plan's owning worker or the serial
+	// driver, never read across plans, so no locking is needed.
+	pat *apps.BuiltPattern
 	// requeues counts how often this submission lost its nodes to a fault
 	// and was resubmitted
 	requeues int
+}
+
+// planPattern returns the plan's traffic pattern, building and caching it
+// on first use.
+func (c *Cluster) planPattern(p *plan) (*apps.BuiltPattern, error) {
+	if p.pat == nil {
+		bp, err := p.model.BuildPattern(c.Topo, p.nodes)
+		if err != nil {
+			return nil, err
+		}
+		p.pat = bp
+	}
+	return p.pat, nil
 }
 
 // UnitOutcome is the result of executing one work unit (one plan index):
@@ -368,7 +406,10 @@ type localExecutor struct {
 func (e *localExecutor) ExecuteRound(ctx context.Context, pending []int, _ []PlanOverride, completed func()) ([]UnitOutcome, error) {
 	c := e.c
 	outs := make([]UnitOutcome, len(pending))
-	err := engine.Map(ctx, len(e.sws), len(pending), func(_ context.Context, wkr, k int) error {
+	// runs are milliseconds each, so batch the handout into super-units;
+	// results depend only on the unit index, never on the batching
+	batch := engine.Batch(len(pending), len(e.sws))
+	err := engine.MapBatch(ctx, len(e.sws), len(pending), batch, func(_ context.Context, wkr, k int) error {
 		if e.sws[wkr] == nil {
 			e.sws[wkr] = c.newSimWorker()
 		}
@@ -503,6 +544,7 @@ func (c *Cluster) runCampaign(ctx context.Context, mkExec func(plans []*plan) Un
 				p.start = o.DrainAt + 900*math.Pow(2, float64(p.requeues-1))
 				p.estEnd = p.start + est
 				p.nodes = nil
+				p.pat = nil // pattern follows the placement
 				if c.place(p, plans, i, rs) {
 					p.footprint = c.planFootprint(p)
 					c.tm.requeues.Add(1)
@@ -680,10 +722,11 @@ func (c *Cluster) placementAdvice(p *plan, plans []*plan, self int) *slurm.Place
 // planFootprint builds the unit (per-second) footprint used when this run
 // is background for another of our runs.
 func (c *Cluster) planFootprint(p *plan) *netsim.LoadSet {
-	inst, err := p.model.Instantiate(c.Topo, p.nodes, rng.New(1))
+	bp, err := c.planPattern(p)
 	if err != nil {
 		return nil
 	}
+	inst := p.model.InstantiateWith(bp, rng.New(1))
 	// average step volume over the run, converted to per-second rates
 	total := p.model.TotalBaseTime()
 	var flows []netsim.Flow
@@ -708,10 +751,13 @@ func (w *simWorker) simulate(p *plan, plans []*plan, self int) (*dataset.Run, er
 	w.net.Board.Reset()
 	w.net.ResetFeedback()
 	runStream := c.root.Split(fmt.Sprintf("run-%d", self))
-	inst, err := p.model.Instantiate(c.Topo, p.nodes, runStream.Split("inst"))
+	bp, err := c.planPattern(p)
 	if err != nil {
 		return nil, err
 	}
+	// InstantiateWith consumes the same single draw Instantiate would, so
+	// the run's noise trajectory is unchanged by the pattern reuse
+	inst := p.model.InstantiateWith(bp, runStream.Split("inst"))
 	mine := inst.Routers()
 	nr, ng := slurm.PlacementFeatures(c.Topo, p.nodes)
 
@@ -721,18 +767,26 @@ func (w *simWorker) simulate(p *plan, plans []*plan, self int) (*dataset.Run, er
 		Day:        p.day,
 		NumRouters: nr,
 		NumGroups:  ng,
+		StepTimes:  make([]float64, 0, p.model.Steps),
+		Compute:    make([]float64, 0, p.model.Steps),
+		Counters:   make([][counters.NumJob]float64, 0, p.model.Steps),
+		IO:         make([][counters.NumLDMS]float64, 0, p.model.Steps),
+		Sys:        make([][counters.NumLDMS]float64, 0, p.model.Steps),
+		Missing:    make([]bool, 0, p.model.Steps),
 	}
 
 	// sys routers: every router not directly connected to our job
-	mineSet := map[topology.RouterID]bool{}
 	for _, r := range mine {
-		mineSet[r] = true
+		w.mineMask[r] = true
 	}
 	w.sysRouters = w.sysRouters[:0]
 	for r := 0; r < c.Topo.Cfg.NumRouters(); r++ {
-		if !mineSet[topology.RouterID(r)] {
+		if !w.mineMask[r] {
 			w.sysRouters = append(w.sysRouters, topology.RouterID(r))
 		}
+	}
+	for _, r := range mine {
+		w.mineMask[r] = false
 	}
 	ioRouters := c.Topo.IORouters()
 

@@ -112,6 +112,7 @@ func (u *UnitSim) Apply(ovs []PlanOverride) error {
 		p.start = ov.Start
 		p.estEnd = ov.EstEnd
 		p.nodes = append([]topology.NodeID(nil), ov.Nodes...)
+		p.pat = nil // the cached pattern follows the placement
 		p.requeues = ov.Requeues
 		p.footprint = u.c.planFootprint(p)
 		u.applied[ov.Unit] = ov.Requeues

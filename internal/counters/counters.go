@@ -111,13 +111,26 @@ type RouterCounters [NumJob]float64
 // Board holds cumulative counters for every router of a machine, the way
 // the hardware exposes them: monotonically increasing since boot. Consumers
 // read deltas between snapshots, exactly like AriesNCL does per time step.
+//
+// Storage is one flat arena, router-major: router r's bank occupies
+// Data[r*NumJob : (r+1)*NumJob]. Bulk operations (Reset, SnapshotInto,
+// DeltaInto) are single passes over the arena, and At hands the simulator a
+// dense *RouterCounters view without copying.
 type Board struct {
-	PerRouter []RouterCounters
+	Data []float64
 }
 
 // NewBoard allocates a zeroed board for n routers.
 func NewBoard(n int) *Board {
-	return &Board{PerRouter: make([]RouterCounters, n)}
+	return &Board{Data: make([]float64, n*NumJob)}
+}
+
+// NumRouters returns the number of router banks on the board.
+func (b *Board) NumRouters() int { return len(b.Data) / NumJob }
+
+// At returns router r's counter bank as a dense array view into the arena.
+func (b *Board) At(r topology.RouterID) *RouterCounters {
+	return (*RouterCounters)(b.Data[int(r)*NumJob : int(r)*NumJob+NumJob])
 }
 
 // Reset zeroes every counter, as if the routers had just booted. The
@@ -126,35 +139,33 @@ func NewBoard(n int) *Board {
 // run from zero is what makes its recorded deltas independent of whichever
 // runs the same Network simulated before it.
 func (b *Board) Reset() {
-	for i := range b.PerRouter {
-		b.PerRouter[i] = RouterCounters{}
-	}
+	clear(b.Data)
 }
 
 // Add accumulates v into counter c of router r.
 func (b *Board) Add(r topology.RouterID, c Index, v float64) {
-	b.PerRouter[r][c] += v
+	b.Data[int(r)*NumJob+int(c)] += v
 }
 
 // Get returns the cumulative value of counter c at router r.
 func (b *Board) Get(r topology.RouterID, c Index) float64 {
-	return b.PerRouter[r][c]
+	return b.Data[int(r)*NumJob+int(c)]
 }
 
 // Snapshot returns a deep copy of the board, for later delta computation.
 func (b *Board) Snapshot() *Board {
-	out := NewBoard(len(b.PerRouter))
-	copy(out.PerRouter, b.PerRouter)
+	out := NewBoard(b.NumRouters())
+	copy(out.Data, b.Data)
 	return out
 }
 
 // SnapshotInto copies the board into dst, reusing dst's storage (resized
 // if needed). Lets per-step callers avoid an allocation per snapshot.
 func (b *Board) SnapshotInto(dst *Board) {
-	if len(dst.PerRouter) != len(b.PerRouter) {
-		dst.PerRouter = make([]RouterCounters, len(b.PerRouter))
+	if len(dst.Data) != len(b.Data) {
+		dst.Data = make([]float64, len(b.Data))
 	}
-	copy(dst.PerRouter, b.PerRouter)
+	copy(dst.Data, b.Data)
 }
 
 // DeltaSum returns, for each counter, the total increase over the given
@@ -164,8 +175,9 @@ func (b *Board) SnapshotInto(dst *Board) {
 func (b *Board) DeltaSum(since *Board, routers []topology.RouterID) RouterCounters {
 	var out RouterCounters
 	for _, r := range routers {
-		cur := &b.PerRouter[r]
-		old := &since.PerRouter[r]
+		base := int(r) * NumJob
+		cur := b.Data[base : base+NumJob]
+		old := since.Data[base : base+NumJob]
 		for c := 0; c < NumJob; c++ {
 			out[c] += cur[c] - old[c]
 		}
@@ -213,8 +225,9 @@ func LDMSNames(prefix string) []string {
 func (b *Board) LDMSSample(since *Board, routers []topology.RouterID) [NumLDMS]float64 {
 	var out [NumLDMS]float64
 	for _, r := range routers {
-		cur := &b.PerRouter[r]
-		old := &since.PerRouter[r]
+		base := int(r) * NumJob
+		cur := b.Data[base : base+NumJob]
+		old := since.Data[base : base+NumJob]
 		for i := 0; i < NumLDMS; i++ {
 			c := ldmsSource[i]
 			out[i] += cur[c] - old[c]
@@ -225,12 +238,13 @@ func (b *Board) LDMSSample(since *Board, routers []topology.RouterID) [NumLDMS]f
 
 // SampleInto fills dst with the cumulative value of each source counter at
 // every router, laid out row-major (router-major): dst[r*len(sources)+k] =
-// counter sources[k] at router r. dst must have len(PerRouter)*len(sources)
+// counter sources[k] at router r. dst must have NumRouters()*len(sources)
 // elements. This is the wire layout of a DFLDMS sample row.
 func (b *Board) SampleInto(sources []Index, dst []float64) {
 	k := len(sources)
-	for r := range b.PerRouter {
-		rc := &b.PerRouter[r]
+	nr := b.NumRouters()
+	for r := 0; r < nr; r++ {
+		rc := b.Data[r*NumJob : r*NumJob+NumJob]
 		for i, src := range sources {
 			dst[r*k+i] = rc[src]
 		}
@@ -239,12 +253,13 @@ func (b *Board) SampleInto(sources []Index, dst []float64) {
 
 // DeltaInto fills dst with the per-router increase of each source counter
 // since the snapshot, in the same router-major layout as SampleInto. dst
-// must have len(PerRouter)*len(sources) elements.
+// must have NumRouters()*len(sources) elements.
 func (b *Board) DeltaInto(since *Board, sources []Index, dst []float64) {
 	k := len(sources)
-	for r := range b.PerRouter {
-		cur := &b.PerRouter[r]
-		old := &since.PerRouter[r]
+	nr := b.NumRouters()
+	for r := 0; r < nr; r++ {
+		cur := b.Data[r*NumJob : r*NumJob+NumJob]
+		old := since.Data[r*NumJob : r*NumJob+NumJob]
 		for i, src := range sources {
 			dst[r*k+i] = cur[src] - old[src]
 		}

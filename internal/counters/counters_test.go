@@ -177,7 +177,7 @@ func TestSnapshotInto(t *testing.T) {
 	// resizing path
 	small := NewBoard(1)
 	b.SnapshotInto(small)
-	if len(small.PerRouter) != 3 || small.Get(1, RTFlitTot) != 43 {
+	if small.NumRouters() != 3 || small.Get(1, RTFlitTot) != 43 {
 		t.Fatal("SnapshotInto resize failed")
 	}
 }

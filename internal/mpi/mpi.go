@@ -238,14 +238,18 @@ func (p *Pattern) Downsample(maxPairs int) *Pattern {
 }
 
 // PatternBuilder accumulates weighted router-pair traffic and normalizes
-// it into a Pattern.
+// it into a Pattern. Accumulation lives in a dense flow slice (insertion
+// order) with a pair → index map beside it: the per-Add hot path updates a
+// slice element in place instead of chasing per-pair heap pointers, and
+// the map holds plain int32 values the garbage collector never scans.
 type PatternBuilder struct {
-	weights map[uint64]*netsim.Flow
+	index map[uint64]int32
+	flows []netsim.Flow
 }
 
 // NewPatternBuilder returns an empty builder.
 func NewPatternBuilder() *PatternBuilder {
-	return &PatternBuilder{weights: make(map[uint64]*netsim.Flow)}
+	return &PatternBuilder{index: make(map[uint64]int32)}
 }
 
 func pairKey(a, b topology.RouterID) uint64 {
@@ -259,11 +263,13 @@ func (b *PatternBuilder) Add(src, dst topology.RouterID, volWeight, msgWeight fl
 		return
 	}
 	k := pairKey(src, dst)
-	f, ok := b.weights[k]
+	i, ok := b.index[k]
 	if !ok {
-		f = &netsim.Flow{Src: src, Dst: dst}
-		b.weights[k] = f
+		i = int32(len(b.flows))
+		b.flows = append(b.flows, netsim.Flow{Src: src, Dst: dst})
+		b.index[k] = i
 	}
+	f := &b.flows[i]
 	f.Flits += volWeight
 	f.Packets += msgWeight
 }
@@ -271,12 +277,10 @@ func (b *PatternBuilder) Add(src, dst topology.RouterID, volWeight, msgWeight fl
 // Build normalizes the accumulated weights into a Pattern. The builder can
 // be reused afterwards (it keeps its state).
 func (b *PatternBuilder) Build() *Pattern {
-	p := &Pattern{flows: make([]netsim.Flow, 0, len(b.weights))}
-	for _, f := range b.weights {
-		p.flows = append(p.flows, *f)
-	}
-	// sort BEFORE totaling: float summation is order-sensitive, and map
-	// iteration order must never leak into results
+	p := &Pattern{flows: make([]netsim.Flow, len(b.flows))}
+	copy(p.flows, b.flows)
+	// sort BEFORE totaling: float summation is order-sensitive, and
+	// accumulation order must never leak into results
 	sort.Slice(p.flows, func(i, j int) bool {
 		if p.flows[i].Src != p.flows[j].Src {
 			return p.flows[i].Src < p.flows[j].Src

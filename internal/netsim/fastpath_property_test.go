@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// The round loop has three code paths for distributing flows over links:
+// the generic bulk splitter, the fused inverse-cost relaxation, and the
+// iteration-0 precomputed-split CSR walk. They are performance tiers, not
+// semantic variants — these tests pin them byte-identical under randomized
+// flow, background-load, and fault sequences.
+
+func randFlows(s *rng.Stream, d *topology.Dragonfly, n int) []Flow {
+	flows := make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		g1 := s.Intn(9)
+		g2 := s.Intn(9)
+		f := Flow{
+			Src:             d.RouterAt(topology.GroupID(g1), s.Intn(4), s.Intn(6)),
+			Dst:             d.RouterAt(topology.GroupID(g2), s.Intn(4), s.Intn(6)),
+			Flits:           math.Floor(s.Float64()*1e8) + 1,
+			Packets:         math.Floor(s.Float64()*1e4) + 1,
+			RequestFraction: 0.8,
+		}
+		switch s.Intn(8) {
+		case 0:
+			f.Dst = f.Src // self-traffic: no links touched
+		case 1:
+			f.Flits = 0 // zero-volume flow: still routed, adds nothing
+		}
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+// TestFusedRoundMatchesGenericRound drives two identically seeded networks
+// through the same randomized campaign — only one of them is allowed the
+// fused inverse-cost fast path — and requires bit-identical results and
+// counter boards at every step.
+func TestFusedRoundMatchesGenericRound(t *testing.T) {
+	// adaptive is the one built-in policy whose netsim wiring enables the
+	// fused path (feedback carries a live GroupStall hook, which opts out)
+	for _, pol := range []string{"adaptive"} {
+		t.Run(pol, func(t *testing.T) {
+			d, err := topology.New(topology.Small())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Routing = pol
+			fast := New(d, cfg, rng.New(7))
+			slow := New(d, cfg, rng.New(7))
+			slow.invCost = false // force the generic bulk splitter
+			if !fast.invCost {
+				t.Fatalf("policy %q should enable the inverse-cost fast path", pol)
+			}
+
+			s := rng.New(1234)
+			var bg []ScaledLoad
+			for iter := 0; iter < 30; iter++ {
+				flows := randFlows(s, d, 32+s.Intn(64))
+
+				// a third of the rounds run under randomized link faults,
+				// exercising the dead-link path (fast path self-disables)
+				switch s.Intn(3) {
+				case 0:
+					deadA := topology.LinkID(s.Intn(len(fast.linkCap)))
+					deadB := topology.LinkID(s.Intn(len(fast.linkCap)))
+					factor := func(l topology.LinkID) float64 {
+						if l == deadA || l == deadB {
+							return 0
+						}
+						return 1
+					}
+					fast.SetLinkHealth(factor)
+					slow.SetLinkHealth(factor)
+				default:
+					fast.SetLinkHealth(nil)
+					slow.SetLinkHealth(nil)
+				}
+
+				// half the rounds add scaled background load, which forces
+				// the relaxation off the iteration-0 CSR walk
+				bg = bg[:0]
+				if s.Intn(2) == 0 {
+					bgFlows := randFlows(s, d, 16)
+					ls := fast.BuildLoadSet(bgFlows)
+					bg = append(bg, ScaledLoad{Set: ls, Scale: 0.5 + s.Float64()})
+				}
+
+				dur := 0.5 + s.Float64()
+				r1 := fast.RunRoundRouted(flows, fast.Resolve(flows), bg, dur)
+				r2 := slow.RunRoundRouted(flows, slow.Resolve(flows), bg, dur)
+
+				if r1.MaxLinkUtilization != r2.MaxLinkUtilization ||
+					r1.MeanLinkUtilization != r2.MeanLinkUtilization {
+					t.Fatalf("iter %d: utilization diverged: fast (%v, %v) vs generic (%v, %v)",
+						iter, r1.MaxLinkUtilization, r1.MeanLinkUtilization,
+						r2.MaxLinkUtilization, r2.MeanLinkUtilization)
+				}
+				for i := range r1.Slowdown {
+					if r1.Slowdown[i] != r2.Slowdown[i] {
+						t.Fatalf("iter %d: slowdown[%d] diverged: %v vs %v",
+							iter, i, r1.Slowdown[i], r2.Slowdown[i])
+					}
+				}
+				b1, b2 := fast.Board.Data, slow.Board.Data
+				if len(b1) != len(b2) {
+					t.Fatalf("board sizes differ")
+				}
+				for i := range b1 {
+					if b1[i] != b2[i] {
+						t.Fatalf("iter %d: counter board diverged at %d: %v vs %v",
+							iter, i, b1[i], b2[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRoundLoopAllocFree pins the steady-state allocation count of the hot
+// round loop: with slowdown-slice reuse enabled, a warm RunRoundRouted must
+// not allocate at all.
+func TestRoundLoopAllocFree(t *testing.T) {
+	for _, pol := range []string{"adaptive", "minimal"} {
+		t.Run(pol, func(t *testing.T) {
+			d, err := topology.New(topology.Small())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Routing = pol
+			n := New(d, cfg, rng.New(1))
+			n.ReuseSlowdowns(true)
+			flows := randFlows(rng.New(9), d, 64)
+			routed := n.Resolve(flows)
+			n.RunRoundRouted(flows, routed, nil, 1.0) // warm-up
+			allocs := testing.AllocsPerRun(20, func() {
+				n.RunRoundRouted(flows, routed, nil, 1.0)
+			})
+			if allocs != 0 {
+				t.Fatalf("warm round loop allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCandidateCacheHitAllocFree pins candidate selection on a warm path
+// cache: looking up an already-resolved router pair must not allocate.
+func TestCandidateCacheHitAllocFree(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(d, DefaultConfig(), rng.New(1))
+	flows := randFlows(rng.New(9), d, 64)
+	n.Resolve(flows) // populate the per-pair candidate cache
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range flows {
+			n.candidates(f.Src, f.Dst)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm candidate lookup allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSharedPathCacheDeterminism verifies that pooling resolved paths across
+// identically seeded networks changes nothing about the routing decisions:
+// a network resolving against a cache pre-warmed by its twin produces the
+// same candidates and split weights as one resolving cold.
+func TestSharedPathCacheDeterminism(t *testing.T) {
+	d, err := topology.New(topology.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	flows := randFlows(rng.New(9), d, 128)
+
+	cold := New(d, cfg, rng.New(3))
+	rCold := cold.Resolve(flows)
+
+	shared := NewPathCache()
+	warmer := New(d, cfg, rng.New(3))
+	warmer.SharePathCache(shared)
+	warmer.Resolve(flows) // populate the shared pool
+
+	warm := New(d, cfg, rng.New(3))
+	warm.SharePathCache(shared)
+	rWarm := warm.Resolve(flows)
+
+	if len(rCold.links) != len(rWarm.links) {
+		t.Fatalf("link arenas differ in size: %d vs %d", len(rCold.links), len(rWarm.links))
+	}
+	for i := range rCold.links {
+		if rCold.links[i] != rWarm.links[i] {
+			t.Fatalf("link %d differs: %v vs %v", i, rCold.links[i], rWarm.links[i])
+		}
+	}
+	res1 := cold.RunRoundRouted(flows, rCold, nil, 1.0)
+	res2 := warm.RunRoundRouted(flows, rWarm, nil, 1.0)
+	for i := range res1.Slowdown {
+		if res1.Slowdown[i] != res2.Slowdown[i] {
+			t.Fatalf("slowdown[%d] differs: %v vs %v", i, res1.Slowdown[i], res2.Slowdown[i])
+		}
+	}
+}

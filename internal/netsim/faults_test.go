@@ -87,10 +87,11 @@ func TestDeadLinksRerouteNotNaN(t *testing.T) {
 	if math.IsNaN(res.Slowdown[0]) || math.IsInf(res.Slowdown[0], 0) || res.Slowdown[0] < 1 {
 		t.Fatalf("slowdown = %v", res.Slowdown[0])
 	}
-	for r := range n.Board.PerRouter {
-		for _, v := range n.Board.PerRouter[r] {
+	for r := 0; r < n.Board.NumRouters(); r++ {
+		rc := n.Board.At(topology.RouterID(r))
+		for _, v := range rc {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				t.Fatalf("router %d counter not finite: %v", r, n.Board.PerRouter[r])
+				t.Fatalf("router %d counter not finite: %v", r, rc)
 			}
 		}
 	}

@@ -18,11 +18,17 @@
 //     PT_* stall counters; bandwidth-heavy flows (MILC) saturate link
 //     bandwidth and show up in RT_* stall counters — the split Figure 9
 //     reports.
+//
+// The round loop is the campaign's hot path; docs/PERFORMANCE.md records
+// the layout and caching decisions below (flat candidate arenas, epoch-
+// scoped path caches, static-split precomputation) together with the
+// determinism contract every further optimization must obey: serial,
+// parallel, and distributed execution stay byte-identical.
 package netsim
 
 import (
 	"fmt"
-	"math"
+	"hash/fnv"
 	"time"
 
 	"dragonvar/internal/counters"
@@ -74,6 +80,9 @@ type Config struct {
 	NonMinimalBias float64
 	// RelaxationRounds is the number of route/measure iterations per round;
 	// 2 is enough for the split weights to react to the round's own load.
+	// Policies with load-independent splits (routing.StaticWeights) always
+	// collapse to a single iteration — the loads cannot change between
+	// iterations, so one pass is bit-identical to many.
 	RelaxationRounds int
 }
 
@@ -152,6 +161,7 @@ type Network struct {
 	baseCap  []float64 // fault-free flit capacity of each link
 	prevLoad []float64 // utilizations of the previous relaxation iteration
 	bgLoad   []float64 // background (precomputed) flits per link this round
+	anyDead  bool      // whether any link currently has zero capacity
 
 	// active-set tracking: only links/routers touched this round are reset
 	// and scanned, so round cost scales with traffic, not machine size
@@ -159,6 +169,7 @@ type Network struct {
 	linkOnList    []bool
 	activeRouters []topology.RouterID
 	routerOnList  []bool
+	fgSeen        []bool // scratch for RoutedFlows foreground-link dedup
 
 	// per-router endpoint state, reused across rounds
 	injFlits []float64 // flits injected at each router this round
@@ -166,29 +177,65 @@ type Network struct {
 	injPkts  []float64
 	ejPkts   []float64
 
+	// per-round delay memos: queueDelay is pure, so its value per link
+	// (and per endpoint direction) is computed once after the relaxation
+	// settles and read by every flow that crosses it, instead of being
+	// recomputed per path hop. Entries are only valid for links/routers
+	// active this round — exactly the ones flows reference.
+	qdLink []float64 // queueDelay(util) per active link
+	injFD  []float64 // queueDelay of injection flit pressure per active router
+	ejFD   []float64 // … ejection flit pressure
+	injPD  []float64 // … injection packet pressure
+	ejPD   []float64 // … ejection packet pressure
+
 	// routing policy: candidate generation and split weighting are
 	// delegated to one routing.Policy per network (SetPolicy switches)
 	policy routing.Policy
-	// loadOf adapts prevLoad for the policy's LoadFunc view; built once
-	// (prevLoad is never reallocated)
+	// splitSlice is the policy's allocation-free arena split (nil when the
+	// policy doesn't implement routing.SliceSplitter); staticSplit records
+	// that the split is load-independent (routing.StaticWeights), letting
+	// Resolve precompute the weights once per run
+	splitSlice  routing.SliceSplitter
+	splitBulk   routing.BulkSplitter
+	staticSplit bool
+	// invCost records that the policy's split is the plain inverse-path-
+	// cost rule (routing.InverseCostSplitter) with bias invBias, letting
+	// the round loop fuse the split arithmetic with the share scatter
+	invCost bool
+	invBias float64
+	// loadOf adapts prevLoad for the generic policy LoadFunc view; built
+	// once (prevLoad is never reallocated)
 	loadOf routing.LoadFunc
 	// fb is the deterministic stall-feedback tracker feeding the
 	// "feedback" policy; nil for every other policy
 	fb *monitor.StallFeedback
 
 	// path cache: flows between the same router pair recur every step.
-	// Keyed per policy name — different policies build different candidate
-	// sets for the same pair — with pathCache aliasing the active policy's
-	// map. Fault-epoch invalidation (ResetCache) drops every policy's
-	// entries.
-	pathCaches map[string]map[uint64][]routing.Path
+	// Keyed per (policy, dead-link signature) epoch — different policies
+	// build different candidate sets for the same pair, and the dead-link
+	// set is the only fault state that changes candidates — with pathCache
+	// aliasing the active epoch's map. Health changes repoint the alias
+	// (edge-scoped invalidation) instead of dropping entries, so derate-
+	// only fault epochs and previously seen dead sets keep their caches.
+	pathCaches map[cacheKey]map[uint64][]routing.Path
 	pathCache  map[uint64][]routing.Path
+	deadSig    uint64
+	// shared is the optional second-level cache pooled across identically
+	// seeded Networks (SharePathCache); nil for standalone simulators.
+	shared *PathCache
+
+	// reuseSlow lets RunRound reuse one Slowdown buffer across rounds
+	// (ReuseSlowdowns) instead of allocating per round.
+	reuseSlow   bool
+	slowScratch []float64
+	flitScratch []float64 // per-flow Flits, gathered for the CSR walk
 
 	// telemetry handles, captured at construction; nil (no-op) when the
 	// process runs without telemetry. Observation-only: nothing in the
 	// simulation reads them, so results are identical with telemetry on.
 	tmCacheHits   *telemetry.Counter
 	tmCacheMisses *telemetry.Counter
+	tmCacheShared *telemetry.Counter
 	tmCacheInval  *telemetry.Counter
 	tmRounds      *telemetry.Counter
 	tmRoundFlits  *telemetry.Histogram
@@ -213,10 +260,16 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 		ejFlits:    make([]float64, d.Cfg.NumRouters()),
 		injPkts:    make([]float64, d.Cfg.NumRouters()),
 		ejPkts:     make([]float64, d.Cfg.NumRouters()),
-		pathCaches: make(map[string]map[uint64][]routing.Path),
+		qdLink:     make([]float64, len(d.Links)),
+		injFD:      make([]float64, d.Cfg.NumRouters()),
+		ejFD:       make([]float64, d.Cfg.NumRouters()),
+		injPD:      make([]float64, d.Cfg.NumRouters()),
+		ejPD:       make([]float64, d.Cfg.NumRouters()),
+		pathCaches: make(map[cacheKey]map[uint64][]routing.Path),
 
 		tmCacheHits:   telemetry.C(telemetry.MNetsimCacheHits),
 		tmCacheMisses: telemetry.C(telemetry.MNetsimCacheMisses),
+		tmCacheShared: telemetry.C(telemetry.MNetsimCacheShared),
 		tmCacheInval:  telemetry.C(telemetry.MNetsimCacheInval),
 		tmRounds:      telemetry.C(telemetry.MNetsimRounds),
 		tmRoundFlits:  telemetry.H(telemetry.MNetsimRoundFlits, telemetry.CountBuckets),
@@ -225,6 +278,7 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 	}
 	n.linkOnList = make([]bool, len(d.Links))
 	n.routerOnList = make([]bool, d.Cfg.NumRouters())
+	n.fgSeen = make([]bool, len(d.Links))
 	n.baseCap = make([]float64, len(d.Links))
 	for i, l := range d.Links {
 		if l.Type == topology.Blue {
@@ -245,10 +299,9 @@ func New(d *topology.Dragonfly, cfg Config, s *rng.Stream) *Network {
 
 // SetPolicy switches the network to the named routing policy. Each
 // policy's candidate paths are cached separately, so switching back and
-// forth never mixes candidate sets; fault-epoch invalidation still clears
-// every policy's cache. The "feedback" policy additionally attaches a
-// deterministic per-network stall tracker (see monitor.StallFeedback),
-// reset per run via ResetFeedback.
+// forth never mixes candidate sets. The "feedback" policy additionally
+// attaches a deterministic per-network stall tracker (see
+// monitor.StallFeedback), reset per run via ResetFeedback.
 func (n *Network) SetPolicy(name string) error {
 	pcfg := routing.PolicyConfig{
 		MaxMinimal:     n.cfg.MaxMinimal,
@@ -267,20 +320,31 @@ func (n *Network) SetPolicy(name string) error {
 		return fmt.Errorf("netsim: %w", err)
 	}
 	n.policy = pol
+	n.splitSlice, _ = pol.(routing.SliceSplitter)
+	n.splitBulk, _ = pol.(routing.BulkSplitter)
+	n.staticSplit = routing.StaticWeights(pol)
+	n.invCost = false
+	if ic, ok := pol.(routing.InverseCostSplitter); ok {
+		if b, ok := ic.InverseCostBias(); ok {
+			n.invCost = true
+			n.invBias = b
+		}
+	}
 	if name != "feedback" {
 		n.fb = nil
 	}
-	cache, ok := n.pathCaches[name]
-	if !ok {
-		cache = make(map[uint64][]routing.Path)
-		n.pathCaches[name] = cache
-	}
-	n.pathCache = cache
+	n.repointCache()
 	return nil
 }
 
 // Policy returns the name of the active routing policy.
 func (n *Network) Policy() string { return n.policy.Name() }
+
+// SharePathCache attaches a shared second-level candidate-path cache.
+// Local misses consult (and populate) the shared cache before recomputing.
+// Only attach the same cache to Networks whose candidate resolution is
+// bit-identical — same topology, Config, and seed (see PathCache).
+func (n *Network) SharePathCache(c *PathCache) { n.shared = c }
 
 // ResetFeedback clears the stall-feedback state read by the "feedback"
 // policy; a no-op under any other policy. Campaign workers call this next
@@ -292,22 +356,38 @@ func (n *Network) ResetFeedback() {
 	}
 }
 
+// repointCache aliases pathCache to the active (policy, dead-set) epoch.
+func (n *Network) repointCache() {
+	key := cacheKey{policy: n.policy.Name(), sig: n.deadSig}
+	cache, ok := n.pathCaches[key]
+	if !ok {
+		cache = make(map[uint64][]routing.Path)
+		n.pathCaches[key] = cache
+	}
+	n.pathCache = cache
+}
+
 // SetLinkHealth applies a fault view to the fabric: each link's capacity
 // becomes baseCap · factor(link), links with factor ≤ 0 are dead and are
 // avoided by all subsequent route resolution, and the path cache is
-// invalidated (routes picked under the old fault state may now traverse
-// dead links). Pass nil to restore the fault-free machine. The caller
-// re-resolves routes after changing health; stale RoutedFlows remain
-// usable but their traffic across dead links is priced at effectively
-// infinite congestion rather than dropped.
+// switched to the epoch of the new dead-link set (capacity derating alone
+// never changes candidate paths, so epochs with the same dead set — in
+// particular, every fault view that kills nothing — share one cache).
+// Pass nil to restore the fault-free machine. The caller re-resolves
+// routes after changing health; stale RoutedFlows remain usable but their
+// traffic across dead links is priced at effectively infinite congestion
+// rather than dropped.
 func (n *Network) SetLinkHealth(factor func(topology.LinkID) float64) {
 	if factor == nil {
 		copy(n.linkCap, n.baseCap)
+		n.anyDead = false
 		n.eng.SetAvoid(nil)
-		n.ResetCache()
+		n.setEpoch(0)
 		return
 	}
 	anyDead := false
+	h := fnv.New64a()
+	var buf [4]byte
 	for i := range n.linkCap {
 		f := factor(topology.LinkID(i))
 		if f < 0 {
@@ -318,14 +398,34 @@ func (n *Network) SetLinkHealth(factor func(topology.LinkID) float64) {
 		n.linkCap[i] = n.baseCap[i] * f
 		if n.linkCap[i] <= 0 {
 			anyDead = true
+			// fold the dead link's ID into the epoch signature; iteration
+			// is in ascending LinkID order, so equal dead sets hash equal
+			buf[0] = byte(i)
+			buf[1] = byte(i >> 8)
+			buf[2] = byte(i >> 16)
+			buf[3] = byte(i >> 24)
+			h.Write(buf[:])
 		}
 	}
+	n.anyDead = anyDead
+	sig := uint64(0)
 	if anyDead {
 		n.eng.SetAvoid(func(l topology.LinkID) bool { return n.linkCap[l] <= 0 })
+		sig = h.Sum64()
 	} else {
 		n.eng.SetAvoid(nil)
 	}
-	n.ResetCache()
+	n.setEpoch(sig)
+}
+
+// setEpoch switches the dead-link cache epoch (no-op if unchanged).
+func (n *Network) setEpoch(sig uint64) {
+	if sig == n.deadSig {
+		return
+	}
+	n.tmCacheInval.Add(1)
+	n.deadSig = sig
+	n.repointCache()
 }
 
 // Topology returns the machine being simulated.
@@ -345,11 +445,25 @@ func pairKey(a, b topology.RouterID) uint64 {
 // seed and the pair — never on which pairs were resolved before it. This
 // is what lets runs be simulated in any order (or sharded across workers,
 // each with an identically-seeded Network) with bit-identical results:
-// a cache hit and a recomputation always return the same paths.
+// a cache hit — local or shared — and a recomputation always return the
+// same paths.
 func (n *Network) candidates(a, b topology.RouterID) []routing.Path {
 	key := pairKey(a, b)
 	if p, ok := n.pathCache[key]; ok {
 		n.tmCacheHits.Add(1)
+		return p
+	}
+	if n.shared != nil {
+		ck := cacheKey{policy: n.policy.Name(), sig: n.deadSig}
+		if p, ok := n.shared.lookup(ck, key); ok {
+			n.tmCacheShared.Add(1)
+			n.pathCache[key] = p
+			return p
+		}
+		n.tmCacheMisses.Add(1)
+		p := n.policy.Candidates(n.eng, a, b, n.s.Split(fmt.Sprintf("pair-%d-%d", a, b)))
+		n.pathCache[key] = p
+		n.shared.store(ck, key, p)
 		return p
 	}
 	n.tmCacheMisses.Add(1)
@@ -378,6 +492,15 @@ func queueDelay(u float64) float64 {
 	return u / (1 - u)
 }
 
+// clamp1 is math.Min(v, 1) for the simulator's non-negative, non-NaN
+// operands — same result, but it inlines (archMin does not).
+func clamp1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
 // touchLink marks a link as active this round.
 func (n *Network) touchLink(l topology.LinkID) {
 	if !n.linkOnList[l] {
@@ -394,24 +517,207 @@ func (n *Network) touchRouter(r topology.RouterID) {
 	}
 }
 
-// RoutedFlows holds the resolved adaptive-routing candidate sets for a
-// fixed list of flows. An application's router-pair list does not change
-// across time steps, so callers resolve once per run and reuse.
+// RoutedFlows holds the resolved routing candidate sets for a fixed list
+// of flows. An application's router-pair list does not change across time
+// steps, so callers resolve once per run and reuse.
+//
+// Alongside the per-flow path slices (views into the path cache), the
+// candidate set is flattened into one arena — links/pathEnd/hops/minimal,
+// flow- then path-major — so the round loop walks dense slices instead of
+// chasing [][]Path pointers, and the split weights live in one flat buffer
+// (weights). Load-independent policies (routing.StaticWeights) have their
+// weights computed once at resolve time; everything else is recomputed per
+// relaxation iteration with identical arithmetic to the historical
+// per-path code.
 type RoutedFlows struct {
-	paths   [][]routing.Path
-	weights [][]float64
+	paths [][]routing.Path
+
+	// flat candidate arena: path p of the RoutedFlows spans
+	// links[pathEnd[p-1]:pathEnd[p]]; the paths of flow i span
+	// pathEnd[flowEnd[i-1]:flowEnd[i]].
+	links   []topology.LinkID
+	pathEnd []int32
+	flowEnd []int32
+	hops    []float64 // float64(hop count) per path, for the slowdown divide
+	minimal []bool    // Path.Minimal per path
+	weights []float64 // split weight per path
+
+	// static records that weights was precomputed at resolve time (the
+	// resolving policy's split is load-independent); policy is the name of
+	// the policy the flows were resolved under, so a SetPolicy switch
+	// after Resolve falls back to per-round splits like it always did.
+	static bool
+	policy string
+
+	// zeroW, for inverse-cost policies, is the split the policy produces
+	// over an unloaded fabric — exactly what relaxation iteration 0
+	// computes on a round with no background and no faults, so such
+	// rounds skip the iteration-0 cost gathering entirely. Σ(1 + 0.0)
+	// over a path's hops is exactly float64(hop count), so the values
+	// are bit-identical to the live computation.
+	zeroW []float64
+
+	// zeroLink/zeroEnd/zeroFlow/zeroCW regroup the iteration-0 scatter by
+	// link (CSR): link zeroLink[k] receives the contributions
+	// zeroFlow/zeroCW[zeroEnd[k-1]:zeroEnd[k]], each Flits[flow]·weight,
+	// in exactly the order the flow-major scatter would have added them —
+	// per-link addition order is what fixes the floating-point result, so
+	// the regrouped walk is bit-identical while touching memory
+	// sequentially. Flows with Src == Dst are excluded at build time;
+	// zero-Flits flows contribute an exact +0.0, matching the scatter's
+	// share != 0 skip (the sums are non-negative, so adding +0.0 is the
+	// identity).
+	zeroLink []topology.LinkID
+	zeroEnd  []int32
+	zeroFlow []int32
+	zeroCW   []float64
+
+	// fgLinks caches the first-touch-ordered, deduplicated link list of
+	// the active (Src≠Dst, Flits>0) flows — the per-round "mark foreground
+	// links active" walk — revalidated against fgMask because Flits gating
+	// can change between rounds.
+	fgLinks []topology.LinkID
+	fgMask  []bool
+	fgBuilt bool
+}
+
+// buildRouted resolves candidates for the flows and flattens them into the
+// arena layout. healthy selects ResolveHealthy's partition check.
+func (n *Network) buildRouted(flows []Flow, healthy bool) (*RoutedFlows, error) {
+	r := &RoutedFlows{
+		paths:   make([][]routing.Path, len(flows)),
+		flowEnd: make([]int32, len(flows)),
+		policy:  n.policy.Name(),
+	}
+	nPaths := 0
+	nLinks := 0
+	for i, f := range flows {
+		paths := n.candidates(f.Src, f.Dst)
+		if healthy && len(paths) == 0 && f.Src != f.Dst {
+			return nil, fmt.Errorf("netsim: flow %d (router %d → %d): %w", i, f.Src, f.Dst, routing.ErrPartitioned)
+		}
+		r.paths[i] = paths
+		nPaths += len(paths)
+		for _, p := range paths {
+			nLinks += len(p.Links)
+		}
+		r.flowEnd[i] = int32(nPaths)
+	}
+	r.links = make([]topology.LinkID, 0, nLinks)
+	r.pathEnd = make([]int32, 0, nPaths)
+	r.hops = make([]float64, 0, nPaths)
+	r.minimal = make([]bool, 0, nPaths)
+	r.weights = make([]float64, nPaths)
+	for _, paths := range r.paths {
+		for _, p := range paths {
+			r.links = append(r.links, p.Links...)
+			r.pathEnd = append(r.pathEnd, int32(len(r.links)))
+			r.hops = append(r.hops, float64(len(p.Links)))
+			r.minimal = append(r.minimal, p.Minimal)
+		}
+	}
+	if n.staticSplit {
+		// load-independent split: compute the weights once, here; the
+		// round loop never recomputes them (static policies never read
+		// the load view, so passing nil is safe)
+		ps := int32(0)
+		for i, paths := range r.paths {
+			pe := r.flowEnd[i]
+			n.policy.SplitWeights(n.eng, paths, nil, r.weights[ps:pe])
+			ps = pe
+		}
+		r.static = true
+	}
+	if n.invCost && !r.static {
+		r.zeroW = make([]float64, nPaths)
+		bias := n.invBias
+		ps := int32(0)
+		for i := range r.paths {
+			pe := r.flowEnd[i]
+			var total float64
+			for j := ps; j < pe; j++ {
+				cost := r.hops[j] // Σ over hops of (1 + 0.0), exactly
+				if !r.minimal[j] && bias != 1 {
+					cost *= bias
+				}
+				w := 1 / (cost + 1e-9)
+				r.zeroW[j] = w
+				total += w
+			}
+			if total > 0 {
+				inv := 1 / total
+				for j := ps; j < pe; j++ {
+					r.zeroW[j] *= inv
+				}
+			}
+			ps = pe
+		}
+		r.buildZeroCSR(flows, len(n.linkLoad))
+	}
+	return r, nil
+}
+
+// buildZeroCSR regroups the zero-load iteration-0 scatter by link (see the
+// zeroLink field docs). numLinks sizes the counting scratch.
+func (r *RoutedFlows) buildZeroCSR(flows []Flow, numLinks int) {
+	cnt := make([]int32, numLinks)
+	total := 0
+	ps, ls := int32(0), int32(0)
+	for i := range flows {
+		pe := r.flowEnd[i]
+		le := ls
+		if pe > ps {
+			le = r.pathEnd[pe-1]
+		}
+		if flows[i].Src != flows[i].Dst {
+			for _, l := range r.links[ls:le] {
+				if cnt[l] == 0 {
+					r.zeroLink = append(r.zeroLink, l)
+				}
+				cnt[l]++
+				total++
+			}
+		}
+		ps, ls = pe, le
+	}
+	r.zeroEnd = make([]int32, len(r.zeroLink))
+	off := make([]int32, numLinks)
+	cum := int32(0)
+	for k, l := range r.zeroLink {
+		off[l] = cum
+		cum += cnt[l]
+		r.zeroEnd[k] = cum
+	}
+	r.zeroFlow = make([]int32, total)
+	r.zeroCW = make([]float64, total)
+	ps, ls = 0, 0
+	for i := range flows {
+		pe := r.flowEnd[i]
+		le := ls
+		if pe > ps {
+			le = r.pathEnd[pe-1]
+		}
+		if flows[i].Src != flows[i].Dst {
+			start := ls
+			for j := ps; j < pe; j++ {
+				end := r.pathEnd[j]
+				w := r.zeroW[j]
+				for _, l := range r.links[start:end] {
+					p := off[l]
+					r.zeroFlow[p] = int32(i)
+					r.zeroCW[p] = w
+					off[l] = p + 1
+				}
+				start = end
+			}
+		}
+		ps, ls = pe, le
+	}
 }
 
 // Resolve computes (and caches) the candidate paths for each flow.
 func (n *Network) Resolve(flows []Flow) *RoutedFlows {
-	r := &RoutedFlows{
-		paths:   make([][]routing.Path, len(flows)),
-		weights: make([][]float64, len(flows)),
-	}
-	for i, f := range flows {
-		r.paths[i] = n.candidates(f.Src, f.Dst)
-		r.weights[i] = make([]float64, len(r.paths[i]))
-	}
+	r, _ := n.buildRouted(flows, false)
 	return r
 }
 
@@ -419,20 +725,69 @@ func (n *Network) Resolve(flows []Flow) *RoutedFlows {
 // routing.ErrPartitioned) when any flow's endpoints are disconnected by
 // link failures instead of silently returning an unroutable flow.
 func (n *Network) ResolveHealthy(flows []Flow) (*RoutedFlows, error) {
-	r := &RoutedFlows{
-		paths:   make([][]routing.Path, len(flows)),
-		weights: make([][]float64, len(flows)),
-	}
-	for i, f := range flows {
-		paths := n.candidates(f.Src, f.Dst)
-		if len(paths) == 0 && f.Src != f.Dst {
-			return nil, fmt.Errorf("netsim: flow %d (router %d → %d): %w", i, f.Src, f.Dst, routing.ErrPartitioned)
-		}
-		r.paths[i] = paths
-		r.weights[i] = make([]float64, len(paths))
-	}
-	return r, nil
+	return n.buildRouted(flows, true)
 }
+
+// refreshForeground revalidates (and if needed rebuilds) the cached
+// deduplicated foreground link list against this round's activity mask.
+func (n *Network) refreshForeground(r *RoutedFlows, flows []Flow) {
+	if r.fgBuilt && len(r.fgMask) == len(flows) {
+		same := true
+		for i := range flows {
+			f := &flows[i]
+			if r.fgMask[i] != (f.Src != f.Dst && f.Flits > 0) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	if cap(r.fgMask) < len(flows) {
+		r.fgMask = make([]bool, len(flows))
+	} else {
+		r.fgMask = r.fgMask[:len(flows)]
+	}
+	r.fgLinks = r.fgLinks[:0]
+	seen := n.fgSeen
+	ps, ls := int32(0), int32(0)
+	for i := range flows {
+		f := &flows[i]
+		pe := r.flowEnd[i]
+		le := ls
+		if pe > ps {
+			le = r.pathEnd[pe-1]
+		}
+		active := f.Src != f.Dst && f.Flits > 0
+		r.fgMask[i] = active
+		if active {
+			// dedup is foreground-internal only: the round loop re-checks
+			// linkOnList per link, so background-first touch order — and
+			// with it the order-dependent mean-utilization sum — is
+			// exactly what the per-flow walk produced
+			for _, l := range r.links[ls:le] {
+				if !seen[l] {
+					seen[l] = true
+					r.fgLinks = append(r.fgLinks, l)
+				}
+			}
+		}
+		ps, ls = pe, le
+	}
+	for _, l := range r.fgLinks {
+		seen[l] = false
+	}
+	r.fgBuilt = true
+}
+
+// ReuseSlowdowns controls whether RunRound results share one Slowdown
+// buffer across rounds. Off (the default) every round allocates a fresh
+// slice, so callers may retain results; on, each round overwrites the
+// previous round's slice — the campaign workers and benchmarks, which
+// consume a result before the next round, turn it on to keep the round
+// loop allocation-free.
+func (n *Network) ReuseSlowdowns(on bool) { n.reuseSlow = on }
 
 // RunRound simulates `duration` seconds of traffic: the adaptively routed
 // foreground flows plus any number of precomputed background footprints
@@ -479,10 +834,12 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 
 	// fold in the background footprints: link loads, endpoint loads, and
 	// the endpoint flit-arrival counters
+	anyBG := false
 	for _, bg := range background {
 		if bg.Set == nil || bg.Scale <= 0 {
 			continue
 		}
+		anyBG = true
 		s := bg.Scale
 		for i, id := range bg.Set.LinkIDs {
 			if n.linkCap[id] <= 0 {
@@ -499,22 +856,17 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 			n.injPkts[r] += bg.Set.InjPkts[i] * s
 			n.ejPkts[r] += bg.Set.EjPkts[i] * s
 			n.touchRouter(r)
-			rc := &n.Board.PerRouter[r]
+			rc := n.Board.At(r)
 			rc[counters.PTFlitVC0] += bg.Set.ArriveVC0[i] * s
 			rc[counters.PTFlitVC4] += bg.Set.ArriveVC4[i] * s
 			rc[counters.PTFlitTot] += (bg.Set.ArriveVC0[i] + bg.Set.ArriveVC4[i]) * s
 		}
 	}
 	// mark the foreground's links active up front so resets stay complete
-	for i, f := range flows {
-		if f.Src == f.Dst || f.Flits <= 0 {
-			continue
-		}
-		for _, p := range routed.paths[i] {
-			for _, l := range p.Links {
-				n.touchLink(l)
-			}
-		}
+	// (via the RoutedFlows' cached dedup of the per-flow link walk)
+	n.refreshForeground(routed, flows)
+	for _, l := range routed.fgLinks {
+		n.touchLink(l)
 	}
 	// the adaptive foreground reacts to the background from iteration 0
 	invDur := 1 / duration
@@ -530,45 +882,244 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 	if rounds < 1 {
 		rounds = 1
 	}
-	for it := 0; it < rounds; it++ {
-		for _, l := range n.activeLinks {
-			n.linkLoad[l] = n.bgLoad[l]
+	// static weights cannot react to load, so every relaxation iteration
+	// reproduces the same link loads — one pass is bit-identical to many.
+	// routed.static only counts when the flows were resolved (and their
+	// weights precomputed) under the policy that's still active.
+	static := routed.static && routed.policy == n.policy.Name()
+	if static {
+		rounds = 1
+	}
+	useBulk := n.splitBulk != nil
+	useSlice := n.splitSlice != nil
+	// the fused path runs the inverse-cost split inline — the cost gather,
+	// normalization, and share scatter become one walk over the candidate
+	// arena, with identical arithmetic to SplitWeightsBulk plus the apply
+	// loop below; faulted fabrics take the generic path (dead-link
+	// skipping keeps that loop honest, and fault epochs are rare)
+	useFused := !static && n.invCost && !n.anyDead
+	// on a round with no background the iteration-0 load view is all
+	// zeros, so the resolve-time zero-load split substitutes for the
+	// whole first cost gather (only when the flows were resolved under
+	// the policy that's still active — the bias must match)
+	zeroFirst := useFused && !anyBG && routed.zeroW != nil && routed.policy == n.policy.Name()
+	if zeroFirst {
+		// gather Flits densely for the CSR walk, and guard the one case
+		// where adding a share is not the same as skipping it: a negative
+		// Flits value (never produced by the workload models)
+		if cap(n.flitScratch) < len(flows) {
+			n.flitScratch = make([]float64, len(flows))
 		}
-		for i, f := range flows {
-			if f.Src == f.Dst || f.Flits <= 0 {
-				continue
+		fl := n.flitScratch[:len(flows)]
+		for i := range flows {
+			v := flows[i].Flits
+			if v < 0 {
+				zeroFirst = false
+				break
 			}
-			paths := routed.paths[i]
-			weights := routed.weights[i]
-			// the policy's load-aware split; for the adaptive policy with
-			// neutral bias this reproduces the historical inverse-cost
-			// split bit for bit
-			n.policy.SplitWeights(n.eng, paths, n.loadOf, weights)
-			for j, p := range paths {
-				share := f.Flits * weights[j]
-				if share == 0 {
+			fl[i] = v
+		}
+	}
+	linkLoad, bgLoad, prevLoad, linkCap := n.linkLoad, n.bgLoad, n.prevLoad, n.linkCap
+	arenaLinks, arenaPathEnd, arenaWeights := routed.links, routed.pathEnd, routed.weights
+	flowEnd, minimal, fgMask := routed.flowEnd, routed.minimal, routed.fgMask
+	for it := 0; it < rounds; it++ {
+		if anyBG {
+			for _, l := range n.activeLinks {
+				linkLoad[l] = bgLoad[l]
+			}
+		} else {
+			// no background: every bgLoad entry is zero, skip the read
+			for _, l := range n.activeLinks {
+				linkLoad[l] = 0
+			}
+		}
+		switch {
+		case zeroFirst && it == 0:
+			// walk the precomputed per-link CSR chains: each link's loads
+			// accumulate in the exact order the flow-major scatter used
+			if rounds == 1 {
+				// a later iteration won't overwrite them, so the slowdown
+				// loop needs the zero-load weights in the arena
+				copy(arenaWeights, routed.zeroW)
+			}
+			fl := n.flitScratch
+			zf, zcw, ze := routed.zeroFlow, routed.zeroCW, routed.zeroEnd
+			start := int32(0)
+			for li, l := range routed.zeroLink {
+				end := ze[li]
+				v := linkLoad[l]
+				for k := start; k < end; k++ {
+					v += fl[zf[k]] * zcw[k]
+				}
+				linkLoad[l] = v
+				start = end
+			}
+		case useFused:
+			bias := n.invBias
+			pathStart, linkStart := int32(0), int32(0)
+			for i := range flows {
+				ps, ls := pathStart, linkStart
+				pe := flowEnd[i]
+				pathStart = pe
+				if pe > ps {
+					linkStart = arenaPathEnd[pe-1]
+				}
+				if !fgMask[i] || pe == ps {
 					continue
 				}
-				for _, l := range p.Links {
-					if n.linkCap[l] <= 0 {
-						continue // dead link carries nothing
+				f := &flows[i]
+				// pass 1: unnormalized inverse-cost weights
+				var total float64
+				start := ls
+				for j := ps; j < pe; j++ {
+					end := arenaPathEnd[j]
+					cost := 0.0
+					for k := start; k < end; k++ {
+						cost += 1 + prevLoad[arenaLinks[k]]
 					}
-					n.linkLoad[l] += share
+					if !minimal[j] && bias != 1 {
+						cost *= bias
+					}
+					w := 1 / (cost + 1e-9)
+					arenaWeights[j] = w
+					total += w
+					start = end
+				}
+				// pass 2: normalize and scatter the shares (inv stays 1
+				// when total ≤ 0, matching the bulk splitter's no-op —
+				// multiplying by exactly 1.0 is the float identity)
+				inv := 1.0
+				if total > 0 {
+					inv = 1 / total
+				}
+				start = ls
+				for j := ps; j < pe; j++ {
+					end := arenaPathEnd[j]
+					w := arenaWeights[j] * inv
+					arenaWeights[j] = w
+					share := f.Flits * w
+					if share != 0 {
+						for k := start; k < end; k++ {
+							linkLoad[arenaLinks[k]] += share
+						}
+					}
+					start = end
+				}
+			}
+		default:
+			if !static && useBulk {
+				// one bulk call computes every active flow's split — the
+				// policy's load-aware weighting; for the adaptive policy
+				// with neutral bias this reproduces the historical
+				// inverse-cost split bit for bit
+				n.splitBulk.SplitWeightsBulk(n.eng, arenaLinks, arenaPathEnd, flowEnd, minimal, fgMask, prevLoad, arenaWeights)
+			}
+			pathStart, linkStart := int32(0), int32(0)
+			for i := range flows {
+				f := &flows[i]
+				ps, ls := pathStart, linkStart
+				pe := flowEnd[i]
+				pathStart = pe
+				if pe > ps {
+					linkStart = arenaPathEnd[pe-1]
+				}
+				if f.Src == f.Dst || f.Flits <= 0 {
+					continue
+				}
+				weights := arenaWeights[ps:pe]
+				if !static && !useBulk {
+					if useSlice {
+						n.splitSlice.SplitWeightsSlice(n.eng, arenaLinks, ls, arenaPathEnd[ps:pe], minimal[ps:pe], prevLoad, weights)
+					} else {
+						n.policy.SplitWeights(n.eng, routed.paths[i], n.loadOf, weights)
+					}
+				}
+				start := ls
+				if n.anyDead {
+					for j, w := range weights {
+						end := arenaPathEnd[ps+int32(j)]
+						share := f.Flits * w
+						if share != 0 {
+							for _, l := range arenaLinks[start:end] {
+								if linkCap[l] <= 0 {
+									continue // dead link carries nothing
+								}
+								linkLoad[l] += share
+							}
+						}
+						start = end
+					}
+				} else {
+					// healthy fabric: the dead-link check is hoisted out
+					// of the innermost loop
+					for j, w := range weights {
+						end := arenaPathEnd[ps+int32(j)]
+						share := f.Flits * w
+						if share != 0 {
+							for _, l := range arenaLinks[start:end] {
+								linkLoad[l] += share
+							}
+						}
+						start = end
+					}
 				}
 			}
 		}
-		// feed utilizations back for the next iteration
-		for _, l := range n.activeLinks {
-			if n.linkCap[l] <= 0 {
-				n.prevLoad[l] = deadUtil
-				continue
+		if it < rounds-1 {
+			// feed utilizations back for the next iteration; the final
+			// iteration's update is fused into the settling pass below
+			for _, l := range n.activeLinks {
+				if linkCap[l] <= 0 {
+					prevLoad[l] = deadUtil
+					continue
+				}
+				prevLoad[l] = linkLoad[l] / linkCap[l] * invDur
 			}
-			n.prevLoad[l] = n.linkLoad[l] / n.linkCap[l] * invDur
 		}
 	}
 
+	// Final settle: one pass over the active links computes the round's
+	// utilizations, the max/mean summary, and the per-link queueing-delay
+	// memo the slowdown loop reads — the same values the three separate
+	// walks produced, in the same summation order.
+	var res Result
+	if n.reuseSlow {
+		if cap(n.slowScratch) < len(flows) {
+			n.slowScratch = make([]float64, len(flows))
+		}
+		res.Slowdown = n.slowScratch[:len(flows)]
+	} else {
+		res.Slowdown = make([]float64, len(flows))
+	}
+	util := n.prevLoad // final per-link utilization
+	qd := n.qdLink
+	var utilSum float64
+	var utilN int
+	for _, l := range n.activeLinks {
+		var u float64
+		if linkCap[l] <= 0 {
+			u = deadUtil
+		} else {
+			u = linkLoad[l] / linkCap[l] * invDur
+		}
+		util[l] = u
+		qd[l] = queueDelay(u)
+		if u > res.MaxLinkUtilization {
+			res.MaxLinkUtilization = u
+		}
+		if linkLoad[l] > 0 {
+			utilSum += u
+			utilN++
+		}
+	}
+	if utilN > 0 {
+		res.MeanLinkUtilization = utilSum / float64(utilN)
+	}
+
 	// Endpoint loads.
-	for _, f := range flows {
+	for i := range flows {
+		f := &flows[i]
 		if f.Flits <= 0 {
 			continue
 		}
@@ -578,25 +1129,6 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 		n.ejPkts[f.Dst] += f.Packets
 		n.touchRouter(f.Src)
 		n.touchRouter(f.Dst)
-	}
-
-	// Utilizations and counter accumulation.
-	util := n.prevLoad // final per-link utilization
-	res := Result{Slowdown: make([]float64, len(flows))}
-	var utilSum float64
-	var utilN int
-	for _, l := range n.activeLinks {
-		u := util[l]
-		if u > res.MaxLinkUtilization {
-			res.MaxLinkUtilization = u
-		}
-		if n.linkLoad[l] > 0 {
-			utilSum += u
-			utilN++
-		}
-	}
-	if utilN > 0 {
-		res.MeanLinkUtilization = utilSum / float64(utilN)
 	}
 	n.tmMaxUtil.Set(res.MaxLinkUtilization)
 
@@ -611,29 +1143,51 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 	}
 
 	// Per-flow slowdowns: transit queueing along the flow's weighted paths
-	// plus endpoint queueing at its source and destination.
+	// plus endpoint queueing at its source and destination. queueDelay is
+	// a pure function, so every active link's delay — and every active
+	// router's four endpoint delays — is computed once into the memos and
+	// summed in exactly the order the per-hop recomputation used.
 	injCap := n.cfg.InjectionBandwidth * duration
 	pktCap := n.cfg.PacketRate * duration
-	for i, f := range flows {
+	for _, r := range n.activeRouters {
+		n.injFD[r] = queueDelay(n.injFlits[r] / injCap)
+		n.ejFD[r] = queueDelay(n.ejFlits[r] / injCap)
+		n.injPD[r] = queueDelay(n.injPkts[r] / pktCap)
+		n.ejPD[r] = queueDelay(n.ejPkts[r] / pktCap)
+	}
+	hops := routed.hops
+	pathStart, linkStart := int32(0), int32(0)
+	for i := range flows {
+		f := &flows[i]
+		ps, ls := pathStart, linkStart
+		pe := flowEnd[i]
+		pathStart = pe
+		if pe > ps {
+			linkStart = arenaPathEnd[pe-1]
+		}
 		if f.Src == f.Dst || f.Flits <= 0 {
 			res.Slowdown[i] = 1
 			continue
 		}
 		var transit float64
-		for j, p := range routed.paths[i] {
-			w := routed.weights[i][j]
+		start := ls
+		for j := ps; j < pe; j++ {
+			end := arenaPathEnd[j]
+			w := arenaWeights[j]
 			if w == 0 {
+				start = end
 				continue
 			}
 			var pathDelay float64
-			for _, l := range p.Links {
-				pathDelay += queueDelay(util[l])
+			for k := start; k < end; k++ {
+				pathDelay += qd[arenaLinks[k]]
 			}
 			// normalize by hops so the value is delay per traversed link
-			transit += w * pathDelay / float64(len(p.Links))
+			transit += w * pathDelay / hops[j]
+			start = end
 		}
-		endFlit := queueDelay(n.injFlits[f.Src]/injCap) + queueDelay(n.ejFlits[f.Dst]/injCap)
-		endPkt := queueDelay(n.injPkts[f.Src]/pktCap) + queueDelay(n.ejPkts[f.Dst]/pktCap)
+		endFlit := n.injFD[f.Src] + n.ejFD[f.Dst]
+		endPkt := n.injPD[f.Src] + n.ejPD[f.Dst]
 		res.Slowdown[i] = 1 + 0.8*transit + 0.5*endFlit + 0.5*endPkt
 
 		// Backpressure echo: credit exhaustion on congested downstream
@@ -645,12 +1199,12 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 		// §V-C to add information).
 		echo := 0.4 * f.Flits * transit * n.cfg.StallScale
 		if echo > 0 {
-			src := &n.Board.PerRouter[f.Src]
-			dst := &n.Board.PerRouter[f.Dst]
+			src := n.Board.At(f.Src)
+			dst := n.Board.At(f.Dst)
 			half := echo / 2
 			src[counters.RTRBStl] += half
 			dst[counters.RTRBStl] += half
-			twoX := half * math.Min(transit, 1)
+			twoX := half * clamp1(transit)
 			src[counters.RTRB2xUsg] += twoX
 			dst[counters.RTRB2xUsg] += twoX
 		}
@@ -664,32 +1218,40 @@ func (n *Network) RunRoundRouted(flows []Flow, routed *RoutedFlows, background [
 // in the endpoint counters).
 func (n *Network) accumulateTransitCounters(duration float64) {
 	b := n.Board
+	linkLoad, linkCap := n.linkLoad, n.linkCap
+	topoLinks := n.topo.Links
+	stallScale := n.cfg.StallScale
+	fpp := n.cfg.FlitsPerPacket
+	fb := n.fb
 	for _, i := range n.activeLinks {
-		load := n.linkLoad[i]
-		if load == 0 || n.linkCap[i] <= 0 {
+		load := linkLoad[i]
+		if load == 0 || linkCap[i] <= 0 {
 			continue
 		}
-		l := n.topo.Links[i]
-		u := load / (n.linkCap[i] * duration)
-		stalls := load * queueDelay(u) * n.cfg.StallScale
+		l := topoLinks[i]
+		u := load / (linkCap[i] * duration)
+		stalls := load * queueDelay(u) * stallScale
 		half := load / 2
-		pkts := load / n.cfg.FlitsPerPacket / 2
+		pkts := load / fpp / 2
 		stHalf := stalls / 2
-		if n.fb != nil {
+		if fb != nil {
 			// the same Δstall/Δflit the monitor's group rollup consumes
-			n.fb.Accumulate(int(n.topo.Group(l.A)), stHalf, half)
-			n.fb.Accumulate(int(n.topo.Group(l.B)), stHalf, half)
+			fb.Accumulate(int(n.topo.Group(l.A)), stHalf, half)
+			fb.Accumulate(int(n.topo.Group(l.B)), stHalf, half)
 		}
 		// 2X usage grows superlinearly with utilization: both stall events
 		// in a cycle require sustained backpressure.
-		twoX := stHalf * math.Min(u, 1)
-		for _, r := range [2]topology.RouterID{l.A, l.B} {
-			rc := &b.PerRouter[r]
-			rc[counters.RTFlitTot] += half
-			rc[counters.RTPktTot] += pkts
-			rc[counters.RTRBStl] += stHalf
-			rc[counters.RTRB2xUsg] += twoX
-		}
+		twoX := stHalf * clamp1(u)
+		rc := b.At(l.A)
+		rc[counters.RTFlitTot] += half
+		rc[counters.RTPktTot] += pkts
+		rc[counters.RTRBStl] += stHalf
+		rc[counters.RTRB2xUsg] += twoX
+		rc = b.At(l.B)
+		rc[counters.RTFlitTot] += half
+		rc[counters.RTPktTot] += pkts
+		rc[counters.RTRBStl] += stHalf
+		rc[counters.RTRB2xUsg] += twoX
 	}
 }
 
@@ -703,7 +1265,8 @@ func (n *Network) accumulateEndpointCounters(flows []Flow, duration float64) {
 	pktCap := n.cfg.PacketRate * duration
 
 	// flit arrivals per router, split by VC
-	for _, f := range flows {
+	for i := range flows {
+		f := &flows[i]
 		if f.Flits <= 0 {
 			continue
 		}
@@ -714,12 +1277,12 @@ func (n *Network) accumulateEndpointCounters(flows []Flow, duration float64) {
 			req = 1
 		}
 		// data arrives at the destination's processor tiles
-		dst := &b.PerRouter[f.Dst]
+		dst := b.At(f.Dst)
 		dst[counters.PTFlitVC0] += f.Flits * req
 		dst[counters.PTFlitVC4] += f.Flits * (1 - req)
 		dst[counters.PTFlitTot] += f.Flits
 		// responses/acks flow back to the source's processor tiles
-		src := &b.PerRouter[f.Src]
+		src := b.At(f.Src)
 		ack := f.Packets // one ack-sized response per packet
 		src[counters.PTFlitVC4] += ack
 		src[counters.PTFlitTot] += ack
@@ -737,26 +1300,26 @@ func (n *Network) accumulateEndpointCounters(flows []Flow, duration float64) {
 		// messages); response-channel stalls by bandwidth pressure.
 		stallRq := pkts * queueDelay(uPkt) * n.cfg.StallScale
 		stallRs := flits * queueDelay(uFlit) * n.cfg.StallScale / n.cfg.FlitsPerPacket
-		rc := &b.PerRouter[r]
+		rc := b.At(r)
 		rc[counters.PTRBStlRq] += stallRq
 		rc[counters.PTRBStlRs] += stallRs
 		rc[counters.PTCBStlRq] += 0.6 * stallRq
 		rc[counters.PTCBStlRs] += 0.6 * stallRs
-		rc[counters.PTRB2xUsg] += stallRq * math.Min(uPkt, 1)
+		rc[counters.PTRB2xUsg] += stallRq * clamp1(uPkt)
 		// Table II: PT_PKT_TOT is derived as PT_RB_STL_RQ + PT_RB_STL_RS.
 		rc[counters.PTPktTot] += stallRq + stallRs
 	}
 }
 
-// ResetCache clears every policy's path cache — fault-epoch changes
-// invalidate candidates no matter which policy computed them. Also call
-// between campaigns if memory is a concern (the cache grows with the
-// number of distinct router pairs seen).
+// ResetCache drops every locally cached candidate path across all policies
+// and epochs (the shared second-level cache, if attached, is untouched —
+// it never goes stale: entries are keyed by the dead-set epoch they were
+// resolved under). Call between campaigns if memory is a concern — the
+// caches grow with the number of distinct router pairs seen.
 func (n *Network) ResetCache() {
 	n.tmCacheInval.Add(1)
-	for name := range n.pathCaches {
-		delete(n.pathCaches, name)
+	for key := range n.pathCaches {
+		delete(n.pathCaches, key)
 	}
-	n.pathCache = make(map[uint64][]routing.Path)
-	n.pathCaches[n.policy.Name()] = n.pathCache
+	n.repointCache()
 }

@@ -95,7 +95,7 @@ func TestPolicyCachesAreIsolated(t *testing.T) {
 		t.Fatalf("adaptive candidates changed across a policy round-trip: %d != %d", len(again), len(adaptive))
 	}
 	n.ResetCache()
-	if len(n.pathCaches["adaptive"]) != 0 || len(n.pathCaches["minimal"]) != 0 {
+	if len(n.pathCaches[cacheKey{policy: "adaptive"}]) != 0 || len(n.pathCaches[cacheKey{policy: "minimal"}]) != 0 {
 		t.Fatal("ResetCache left stale per-policy entries")
 	}
 }

@@ -56,6 +56,34 @@ func (c PolicyConfig) bias() float64 {
 	return c.NonMinimalBias
 }
 
+// StaticWeights reports whether the policy's split is load-independent:
+// SplitWeights writes the same dst for a given candidate list no matter
+// what the load view returns (and never calls it). The simulator uses this
+// to compute a flow's split once at resolve time and skip the per-round
+// (and per-relaxation-iteration) recomputation entirely — and, because the
+// resulting link loads then cannot change between relaxation iterations, to
+// collapse the relaxation to a single iteration with bit-identical results.
+func StaticWeights(p Policy) bool {
+	switch p.(type) {
+	case minimalPolicy, valiantPolicy:
+		return true
+	}
+	return false
+}
+
+// SliceSplitter is the allocation- and indirection-free fast path of
+// SplitWeights over the flat candidate arena the simulator builds per
+// resolved flow list. Candidate path j of the flow spans
+// links[start:pathEnd[j]], where start advances to the previous path's end
+// (the flow's paths are contiguous in the arena); minimal[j] mirrors
+// Path.Minimal; load is indexed directly by LinkID, replacing the LoadFunc
+// closure. Implementations MUST produce bit-identical weights to
+// SplitWeights on the same candidates — the property test in
+// policy_slice_test.go enforces it.
+type SliceSplitter interface {
+	SplitWeightsSlice(e *Engine, links []topology.LinkID, start int32, pathEnd []int32, minimal []bool, load []float64, dst []float64)
+}
+
 // PolicyNames lists the built-in routing policies, sorted.
 func PolicyNames() []string {
 	names := []string{"minimal", "valiant", "adaptive", "feedback"}
@@ -191,6 +219,34 @@ func (p adaptivePolicy) SplitWeights(_ *Engine, paths []Path, load LoadFunc, dst
 	}
 }
 
+// SplitWeightsSlice mirrors SplitWeights over the arena layout with the
+// identical arithmetic and summation order (cost accumulation in link
+// order, bias multiply, inverse-cost weight, normalize by 1/total).
+func (p adaptivePolicy) SplitWeightsSlice(_ *Engine, links []topology.LinkID, start int32, pathEnd []int32, minimal []bool, load []float64, dst []float64) {
+	bias := p.cfg.bias()
+	var total float64
+	for i := range dst {
+		end := pathEnd[i]
+		cost := 0.0
+		for _, l := range links[start:end] {
+			cost += 1 + load[l]
+		}
+		if !minimal[i] && bias != 1 {
+			cost *= bias
+		}
+		w := 1 / (cost + 1e-9)
+		dst[i] = w
+		total += w
+		start = end
+	}
+	if total > 0 {
+		inv := 1 / total
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+}
+
 // defaultFeedbackGain prices a sustained group stall ratio of 0.25 as a
 // doubling of every hop's cost through that group.
 const defaultFeedbackGain = 4
@@ -241,4 +297,173 @@ func (p feedbackPolicy) SplitWeights(e *Engine, paths []Path, load LoadFunc, dst
 			dst[i] *= inv
 		}
 	}
+}
+
+// SplitWeightsSlice mirrors feedbackPolicy.SplitWeights over the arena
+// layout, bit for bit (see adaptivePolicy.SplitWeightsSlice).
+func (p feedbackPolicy) SplitWeightsSlice(e *Engine, links []topology.LinkID, start int32, pathEnd []int32, minimal []bool, load []float64, dst []float64) {
+	gs := p.cfg.GroupStall
+	if gs == nil {
+		adaptivePolicy{cfg: p.cfg}.SplitWeightsSlice(e, links, start, pathEnd, minimal, load, dst)
+		return
+	}
+	gain := p.cfg.FeedbackGain
+	if gain <= 0 {
+		gain = defaultFeedbackGain
+	}
+	bias := p.cfg.bias()
+	d := e.Machine()
+	var total float64
+	for i := range dst {
+		end := pathEnd[i]
+		cost := 0.0
+		for _, l := range links[start:end] {
+			link := d.Links[l]
+			stall := 0.5 * (gs(d.Group(link.A)) + gs(d.Group(link.B)))
+			cost += (1 + load[l]) * (1 + gain*stall)
+		}
+		if !minimal[i] && bias != 1 {
+			cost *= bias
+		}
+		w := 1 / (cost + 1e-9)
+		dst[i] = w
+		total += w
+		start = end
+	}
+	if total > 0 {
+		inv := 1 / total
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+}
+
+// BulkSplitter computes the arena split for every active flow in one call
+// — the form the simulator's relaxation loop actually uses. Splitting flow
+// by flow through SliceSplitter pays an interface dispatch and a receiver
+// (config) copy per flow per iteration; the bulk form hoists that setup
+// out of the loop. Flow i's paths span pathEnd[flowEnd[i-1]:flowEnd[i]];
+// flows with active[i] == false are skipped (their dst entries are left
+// untouched). The weights written MUST be bit-identical to calling
+// SplitWeightsSlice per flow — policy_slice_test.go enforces it.
+type BulkSplitter interface {
+	SplitWeightsBulk(e *Engine, links []topology.LinkID, pathEnd, flowEnd []int32, minimal, active []bool, load []float64, dst []float64)
+}
+
+// SplitWeightsBulk applies adaptivePolicy.SplitWeightsSlice to every
+// active flow with the bias lookup hoisted out of the flow loop.
+func (p adaptivePolicy) SplitWeightsBulk(_ *Engine, links []topology.LinkID, pathEnd, flowEnd []int32, minimal, active []bool, load []float64, dst []float64) {
+	bias := p.cfg.bias()
+	ps, ls := int32(0), int32(0)
+	for fi := range flowEnd {
+		fs, fl := ps, ls
+		pe := flowEnd[fi]
+		ps = pe
+		if pe > fs {
+			ls = pathEnd[pe-1]
+		}
+		if !active[fi] || pe == fs {
+			continue
+		}
+		var total float64
+		start := fl
+		for j := fs; j < pe; j++ {
+			end := pathEnd[j]
+			cost := 0.0
+			for _, l := range links[start:end] {
+				cost += 1 + load[l]
+			}
+			if !minimal[j] && bias != 1 {
+				cost *= bias
+			}
+			w := 1 / (cost + 1e-9)
+			dst[j] = w
+			total += w
+			start = end
+		}
+		if total > 0 {
+			inv := 1 / total
+			for j := fs; j < pe; j++ {
+				dst[j] *= inv
+			}
+		}
+	}
+}
+
+// SplitWeightsBulk applies feedbackPolicy.SplitWeightsSlice to every
+// active flow with the stall signal, gain, bias, and machine lookups
+// hoisted out of the flow loop.
+func (p feedbackPolicy) SplitWeightsBulk(e *Engine, links []topology.LinkID, pathEnd, flowEnd []int32, minimal, active []bool, load []float64, dst []float64) {
+	gs := p.cfg.GroupStall
+	if gs == nil {
+		adaptivePolicy{cfg: p.cfg}.SplitWeightsBulk(e, links, pathEnd, flowEnd, minimal, active, load, dst)
+		return
+	}
+	gain := p.cfg.FeedbackGain
+	if gain <= 0 {
+		gain = defaultFeedbackGain
+	}
+	bias := p.cfg.bias()
+	d := e.Machine()
+	ps, ls := int32(0), int32(0)
+	for fi := range flowEnd {
+		fs, fl := ps, ls
+		pe := flowEnd[fi]
+		ps = pe
+		if pe > fs {
+			ls = pathEnd[pe-1]
+		}
+		if !active[fi] || pe == fs {
+			continue
+		}
+		var total float64
+		start := fl
+		for j := fs; j < pe; j++ {
+			end := pathEnd[j]
+			cost := 0.0
+			for _, l := range links[start:end] {
+				link := d.Links[l]
+				stall := 0.5 * (gs(d.Group(link.A)) + gs(d.Group(link.B)))
+				cost += (1 + load[l]) * (1 + gain*stall)
+			}
+			if !minimal[j] && bias != 1 {
+				cost *= bias
+			}
+			w := 1 / (cost + 1e-9)
+			dst[j] = w
+			total += w
+			start = end
+		}
+		if total > 0 {
+			inv := 1 / total
+			for j := fs; j < pe; j++ {
+				dst[j] *= inv
+			}
+		}
+	}
+}
+
+// InverseCostSplitter is implemented by policies whose split is exactly
+// the inverse-path-cost rule — cost = Σ over hops of (1 + load), scaled by
+// bias for non-minimal paths, weight 1/(cost+1e-9), normalized — with no
+// extra per-hop signal. The simulator uses it to run that arithmetic
+// inline in its relaxation loop (fusing the split with the share scatter)
+// instead of dispatching through SplitWeights; the inline loop must stay
+// bit-identical to SplitWeightsSlice. ok reports whether the rule applies
+// in the policy's current configuration.
+type InverseCostSplitter interface {
+	InverseCostBias() (bias float64, ok bool)
+}
+
+// InverseCostBias reports the adaptive policy's bias; the rule always
+// applies.
+func (p adaptivePolicy) InverseCostBias() (float64, bool) { return p.cfg.bias(), true }
+
+// InverseCostBias applies only when the feedback signal is absent (the
+// policy then degrades to the plain adaptive split).
+func (p feedbackPolicy) InverseCostBias() (float64, bool) {
+	if p.cfg.GroupStall != nil {
+		return 0, false
+	}
+	return p.cfg.bias(), true
 }

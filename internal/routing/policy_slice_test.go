@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"dragonvar/internal/rng"
+	"dragonvar/internal/topology"
+)
+
+// The split arithmetic exists in up to four tiers per policy — the generic
+// SplitWeights, the arena SplitWeightsSlice, the hoisted SplitWeightsBulk,
+// and (for inverse-cost policies) the formula the simulator inlines into
+// its relaxation loop. They are required to be bit-identical; this property
+// test drives all tiers over randomized candidate sets and load views and
+// compares every weight with ==, not a tolerance.
+func TestSplitVariantsBitIdentical(t *testing.T) {
+	e := newEngine(t)
+	d := e.Machine()
+	stall := func(g topology.GroupID) float64 { return 0.04 * float64(g+1) }
+	cases := []struct {
+		name string
+		p    Policy
+	}{
+		{"minimal", mustPolicy(t, "minimal", PolicyConfig{})},
+		{"valiant", mustPolicy(t, "valiant", PolicyConfig{})},
+		{"adaptive", mustPolicy(t, "adaptive", PolicyConfig{})},
+		{"adaptive-bias", mustPolicy(t, "adaptive", PolicyConfig{NonMinimalBias: 1.7})},
+		{"feedback-nil", mustPolicy(t, "feedback", PolicyConfig{NonMinimalBias: 1.3})},
+		{"feedback-stall", mustPolicy(t, "feedback", PolicyConfig{GroupStall: stall})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := rng.New(4242)
+			load := make([]float64, len(d.Links))
+			loadFn := func(l topology.LinkID) float64 { return load[l] }
+			for trial := 0; trial < 25; trial++ {
+				for i := range load {
+					load[i] = s.Float64() * 5
+				}
+				var links []topology.LinkID
+				var pathEnd, flowEnd []int32
+				var minimal, active []bool
+				var flowPaths [][]Path
+				numFlows := 1 + s.Intn(5)
+				for f := 0; f < numFlows; f++ {
+					a := d.RouterAt(topology.GroupID(s.Intn(9)), s.Intn(4), s.Intn(6))
+					b := d.RouterAt(topology.GroupID(s.Intn(9)), s.Intn(4), s.Intn(6))
+					for b == a {
+						b = d.RouterAt(topology.GroupID(s.Intn(9)), s.Intn(4), s.Intn(6))
+					}
+					paths := tc.p.Candidates(e, a, b, s.Split(fmt.Sprintf("pair-%d-%d", trial, f)))
+					flowPaths = append(flowPaths, paths)
+					for _, pa := range paths {
+						links = append(links, pa.Links...)
+						pathEnd = append(pathEnd, int32(len(links)))
+						minimal = append(minimal, pa.Minimal)
+					}
+					flowEnd = append(flowEnd, int32(len(pathEnd)))
+					active = append(active, s.Intn(4) > 0)
+				}
+				nPaths := len(pathEnd)
+
+				// reference: the generic entry point, one flow at a time
+				// (inactive flows keep zero weights in every tier)
+				want := make([]float64, nPaths)
+				ps := 0
+				for fi, paths := range flowPaths {
+					pe := int(flowEnd[fi])
+					if active[fi] && pe > ps {
+						tc.p.SplitWeights(e, paths, loadFn, want[ps:pe])
+					}
+					ps = pe
+				}
+
+				if ss, ok := tc.p.(SliceSplitter); ok {
+					got := make([]float64, nPaths)
+					ps, start := 0, int32(0)
+					for fi := range flowPaths {
+						pe := int(flowEnd[fi])
+						if active[fi] && pe > ps {
+							ss.SplitWeightsSlice(e, links, start, pathEnd[ps:pe], minimal[ps:pe], load, got[ps:pe])
+						}
+						if pe > ps {
+							start = pathEnd[pe-1]
+						}
+						ps = pe
+					}
+					compareWeights(t, "slice", trial, want, got)
+				}
+
+				if bs, ok := tc.p.(BulkSplitter); ok {
+					got := make([]float64, nPaths)
+					bs.SplitWeightsBulk(e, links, pathEnd, flowEnd, minimal, active, load, got)
+					compareWeights(t, "bulk", trial, want, got)
+				}
+
+				if ic, ok := tc.p.(InverseCostSplitter); ok {
+					if bias, ok := ic.InverseCostBias(); ok {
+						got := make([]float64, nPaths)
+						ps, start := int32(0), int32(0)
+						for fi := range flowPaths {
+							pe := flowEnd[fi]
+							fl := start
+							if pe > ps {
+								start = pathEnd[pe-1]
+							}
+							if !active[fi] || pe == ps {
+								ps = pe
+								continue
+							}
+							var total float64
+							ls := fl
+							for j := ps; j < pe; j++ {
+								cost := 0.0
+								for _, l := range links[ls:pathEnd[j]] {
+									cost += 1 + load[l]
+								}
+								if !minimal[j] && bias != 1 {
+									cost *= bias
+								}
+								w := 1 / (cost + 1e-9)
+								got[j] = w
+								total += w
+								ls = pathEnd[j]
+							}
+							if total > 0 {
+								inv := 1 / total
+								for j := ps; j < pe; j++ {
+									got[j] *= inv
+								}
+							}
+							ps = pe
+						}
+						compareWeights(t, "inverse-cost-inline", trial, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInverseCostOptIn pins which configurations advertise the inlineable
+// inverse-cost rule: adaptive always, feedback only without a stall signal.
+func TestInverseCostOptIn(t *testing.T) {
+	stall := func(topology.GroupID) float64 { return 0.1 }
+	if _, ok := mustPolicy(t, "adaptive", PolicyConfig{}).(InverseCostSplitter); !ok {
+		t.Fatal("adaptive must implement InverseCostSplitter")
+	}
+	p := mustPolicy(t, "adaptive", PolicyConfig{NonMinimalBias: 2})
+	if bias, ok := p.(InverseCostSplitter).InverseCostBias(); !ok || bias != 2 {
+		t.Fatalf("adaptive InverseCostBias = (%v, %v), want (2, true)", bias, ok)
+	}
+	fb := mustPolicy(t, "feedback", PolicyConfig{})
+	if _, ok := fb.(InverseCostSplitter).InverseCostBias(); !ok {
+		t.Fatal("feedback without a stall signal degrades to the inverse-cost rule")
+	}
+	fbs := mustPolicy(t, "feedback", PolicyConfig{GroupStall: stall})
+	if _, ok := fbs.(InverseCostSplitter).InverseCostBias(); ok {
+		t.Fatal("feedback with a live stall signal must opt out of the inline rule")
+	}
+}
+
+// TestBulkSplitAllocFree pins the bulk splitter as allocation-free: the
+// round loop calls it per relaxation iteration, so a single alloc here
+// multiplies across the whole campaign.
+func TestBulkSplitAllocFree(t *testing.T) {
+	e := newEngine(t)
+	d := e.Machine()
+	p := mustPolicy(t, "adaptive", PolicyConfig{})
+	s := rng.New(7)
+	var links []topology.LinkID
+	var pathEnd, flowEnd []int32
+	var minimal, active []bool
+	for f := 0; f < 16; f++ {
+		a := d.RouterAt(topology.GroupID(s.Intn(9)), s.Intn(4), s.Intn(6))
+		b := d.RouterAt(topology.GroupID((int(d.Group(a))+1+s.Intn(8))%9), s.Intn(4), s.Intn(6))
+		paths := p.Candidates(e, a, b, s.Split(fmt.Sprintf("p-%d", f)))
+		for _, pa := range paths {
+			links = append(links, pa.Links...)
+			pathEnd = append(pathEnd, int32(len(links)))
+			minimal = append(minimal, pa.Minimal)
+		}
+		flowEnd = append(flowEnd, int32(len(pathEnd)))
+		active = append(active, true)
+	}
+	load := make([]float64, len(d.Links))
+	dst := make([]float64, len(pathEnd))
+	bs := p.(BulkSplitter)
+	allocs := testing.AllocsPerRun(100, func() {
+		bs.SplitWeightsBulk(e, links, pathEnd, flowEnd, minimal, active, load, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("SplitWeightsBulk allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func mustPolicy(t *testing.T, name string, cfg PolicyConfig) Policy {
+	t.Helper()
+	p, err := NewPolicy(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func compareWeights(t *testing.T, tier string, trial int, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("trial %d: %s weight[%d] = %v, generic = %v (must be bit-identical)",
+				trial, tier, i, got[i], want[i])
+		}
+	}
+}

@@ -15,9 +15,10 @@ const (
 	GEngineWorkers    = "engine/workers"            // gauge: last resolved worker count
 
 	// internal/netsim — the flow-level congestion simulator.
-	MNetsimCacheHits   = "netsim/path_cache_hits"          // counter: candidate-path cache hits
+	MNetsimCacheHits   = "netsim/path_cache_hits"          // counter: candidate-path cache hits (local, per-network)
 	MNetsimCacheMisses = "netsim/path_cache_misses"        // counter: candidate-path recomputations
-	MNetsimCacheInval  = "netsim/path_cache_invalidations" // counter: ResetCache calls (fault epochs)
+	MNetsimCacheShared = "netsim/path_cache_shared_hits"   // counter: misses satisfied by the shared cross-worker cache
+	MNetsimCacheInval  = "netsim/path_cache_invalidations" // counter: cache-epoch switches (dead-set changes, ResetCache)
 	MNetsimRounds      = "netsim/rounds_total"             // counter: simulation rounds run
 	MNetsimRoundFlits  = "netsim/round_flits"              // histogram: offered flits per round
 	MNetsimRoundSecs   = "netsim/round_seconds"            // histogram: wall time per round
@@ -136,7 +137,7 @@ const (
 // test requires each to appear in docs/OBSERVABILITY.md.
 var AllMetricNames = []string{
 	MEngineMaps, MEngineShards, MEngineShardWait, MEngineShardRun, MEngineMapSeconds, GEngineWorkers,
-	MNetsimCacheHits, MNetsimCacheMisses, MNetsimCacheInval, MNetsimRounds, MNetsimRoundFlits, MNetsimRoundSecs, GNetsimMaxUtil,
+	MNetsimCacheHits, MNetsimCacheMisses, MNetsimCacheShared, MNetsimCacheInval, MNetsimRounds, MNetsimRoundFlits, MNetsimRoundSecs, GNetsimMaxUtil,
 	MRoutingCandidateSets, MRoutingMinimal, MRoutingNonMinimal, MRoutingBFSFallback,
 	MSlurmPlacements, MSlurmPlacementNodes, MSlurmPlacementGroups, MSlurmHotGroupAvoided, MSlurmAdviceFallback,
 	MMonitorSamples, MMonitorEvents, GMonitorHot, GMonitorCongested, GMonitorMaxStall, GMonitorGapFrac, GMonitorLastT,

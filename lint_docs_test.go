@@ -1,6 +1,7 @@
 package dragonvar
 
 import (
+	"encoding/json"
 	"go/parser"
 	"go/token"
 	"os"
@@ -118,6 +119,35 @@ func TestMarkdownLinks(t *testing.T) {
 			resolved := filepath.Join(filepath.Dir(md), target)
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken link %q (resolved to %s)", md, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestPerformanceDocCoverage keeps docs/PERFORMANCE.md in sync with the
+// benchmark ledger: every field appearing in any BENCH_engine.json row
+// must be documented, so the ledger schema can't drift silently.
+func TestPerformanceDocCoverage(t *testing.T) {
+	blob, err := os.ReadFile("docs/PERFORMANCE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(blob)
+	ledger, err := os.ReadFile("BENCH_engine.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]interface{}
+	if err := json.Unmarshal(ledger, &rows); err != nil {
+		t.Fatalf("BENCH_engine.json is not a result array: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("BENCH_engine.json has no rows")
+	}
+	for _, row := range rows {
+		for field := range row {
+			if !strings.Contains(doc, "`"+field+"`") {
+				t.Errorf("ledger field %q not documented in docs/PERFORMANCE.md", field)
 			}
 		}
 	}
