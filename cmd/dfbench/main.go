@@ -82,14 +82,17 @@ func main() {
 	out := flag.String("out", "BENCH_engine.json", "output JSON ledger; existing entries are kept and the new row appended")
 	allowHashChange := flag.Bool("allow-hash-change", false, "permit appending a row whose campaign hash differs from the previous same-config ledger entry (required after intentional behavior changes)")
 	tmPath := flag.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
+	tracePath := flag.String("trace", "", `write the span stream to this JSONL file on exit (stitch with "dfvar trace")`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	// enable before the clusters are built so their handles are live; the
 	// determinism check below then doubles as proof that telemetry is
 	// observation-only (identical hashes with instrumentation recording)
-	if *tmPath != "" || *pprofAddr != "" {
-		telemetry.Enable(telemetry.New())
+	if *tmPath != "" || *tracePath != "" || *pprofAddr != "" {
+		reg := telemetry.New()
+		reg.SetRole("dfbench")
+		telemetry.Enable(reg)
 	}
 	if *pprofAddr != "" {
 		if err := telemetry.ServePprof(*pprofAddr); err != nil {
@@ -98,6 +101,9 @@ func main() {
 	}
 	defer func() {
 		if err := telemetry.Flush(*tmPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+		}
+		if err := telemetry.FlushTrace(*tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
 		}
 	}()

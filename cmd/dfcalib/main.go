@@ -32,13 +32,16 @@ func main() {
 	workers := flag.Int("workers", 0,
 		"simulation worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
 	tmPath := flag.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
+	tracePath := flag.String("trace", "", `write the span stream to this JSONL file on exit (stitch with "dfvar trace")`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	// telemetry must be live before cluster construction: instrumented
 	// components capture their metric handles when they are built
-	if *tmPath != "" || *pprofAddr != "" {
-		telemetry.Enable(telemetry.New())
+	if *tmPath != "" || *tracePath != "" || *pprofAddr != "" {
+		reg := telemetry.New()
+		reg.SetRole("dfcalib")
+		telemetry.Enable(reg)
 	}
 	if *pprofAddr != "" {
 		if err := telemetry.ServePprof(*pprofAddr); err != nil {
@@ -48,6 +51,9 @@ func main() {
 	}
 	flush := func() {
 		if err := telemetry.Flush(*tmPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
+		}
+		if err := telemetry.FlushTrace(*tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "dfcalib: %v\n", err)
 		}
 	}

@@ -88,6 +88,7 @@ func cmdRecord(args []string) error {
 	workers := fs.Int("workers", 0,
 		"worker count for any campaign simulation on this cluster (0 = $"+engine.EnvWorkers+" or GOMAXPROCS)")
 	tmPath := fs.String("telemetry", "", "write a telemetry snapshot (metrics + span trace) to this JSON file on exit")
+	tracePath := fs.String("trace", "", `write the span stream to this JSONL file on exit (stitch with "dfvar trace")`)
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /telemetry on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,8 +96,10 @@ func cmdRecord(args []string) error {
 
 	// enable before cluster.New: instrumented components capture their
 	// metric handles at construction time
-	if *tmPath != "" || *pprofAddr != "" {
-		telemetry.Enable(telemetry.New())
+	if *tmPath != "" || *tracePath != "" || *pprofAddr != "" {
+		reg := telemetry.New()
+		reg.SetRole("dfldms")
+		telemetry.Enable(reg)
 	}
 	if *pprofAddr != "" {
 		if err := telemetry.ServePprof(*pprofAddr); err != nil {
@@ -105,6 +108,9 @@ func cmdRecord(args []string) error {
 	}
 	defer func() {
 		if err := telemetry.Flush(*tmPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dfldms: %v\n", err)
+		}
+		if err := telemetry.FlushTrace(*tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "dfldms: %v\n", err)
 		}
 	}()

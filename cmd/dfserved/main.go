@@ -12,9 +12,10 @@
 //	    /v1/advisor/blame, /v1/spec, /healthz, /readyz, /metrics.
 //	    SIGINT/SIGTERM drains in-flight requests and exits 0.
 //
-//	dfserved -loadgen [-target URL] [-rps N] [-duration D] [-out FILE]
+//	dfserved -loadgen [-target URL] [-rps N] [-duration D] [-distinct] [-out FILE]
 //	    Drive a running daemon at a target request rate and write a
-//	    latency-histogram benchmark report (make bench-serve).
+//	    latency-histogram benchmark report (make bench-serve). -distinct
+//	    gives every request a unique window, measuring the uncached path.
 //
 //	dfserved -list [-store DIR]
 //	    Print every model ref in the store.
@@ -80,6 +81,7 @@ type options struct {
 	batchWindow time.Duration
 	cacheSize   int
 	telemetry   string
+	trace       string
 
 	// campaign (same semantics as dfvar)
 	cache  string
@@ -95,6 +97,7 @@ type options struct {
 	duration time.Duration
 	workers  int
 	pool     int
+	distinct bool
 	out      string
 }
 
@@ -117,6 +120,8 @@ func run(args []string) error {
 	fs.DurationVar(&o.batchWindow, "batch-window", 0, "batch collection window (0 = default)")
 	fs.IntVar(&o.cacheSize, "cache-size", 0, "prediction cache entries (0 = default)")
 	fs.StringVar(&o.telemetry, "telemetry", "", "write a telemetry snapshot to this JSON file on exit")
+	fs.StringVar(&o.trace, "trace", "",
+		`write the span stream (per-request serve/request spans) to this JSONL file on exit (stitch with "dfvar trace")`)
 
 	fs.StringVar(&o.cache, "cache", "campaign.gob", "campaign cache file (empty to disable)")
 	fs.Float64Var(&o.days, "days", 130, "campaign length in days (training only)")
@@ -130,6 +135,8 @@ func run(args []string) error {
 	fs.DurationVar(&o.duration, "duration", 10*time.Second, "loadgen: how long to drive load")
 	fs.IntVar(&o.workers, "workers", 64, "loadgen: concurrent request workers")
 	fs.IntVar(&o.pool, "pool", 64, "loadgen: distinct request windows (reuse exercises the cache)")
+	fs.BoolVar(&o.distinct, "distinct", false,
+		"loadgen: use a fresh window for every request (cache-busting: measures the uncached model path)")
 	fs.StringVar(&o.out, "out", "", "loadgen: write the JSON report here (default stdout)")
 
 	if err := fs.Parse(args); err != nil {
@@ -350,9 +357,14 @@ func provision(ctx context.Context, o options, st *modelstore.Store) (serve.Conf
 
 func runServe(o options) error {
 	// the daemon is always instrumented: /metrics is part of its API
-	telemetry.Enable(telemetry.New())
+	reg := telemetry.New()
+	reg.SetRole("dfserved")
+	telemetry.Enable(reg)
 	defer func() {
 		if err := telemetry.Flush(o.telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "dfserved: %v\n", err)
+		}
+		if err := telemetry.FlushTrace(o.trace); err != nil {
 			fmt.Fprintf(os.Stderr, "dfserved: %v\n", err)
 		}
 	}()
@@ -409,6 +421,7 @@ type benchReport struct {
 	Target      string  `json:"target"`
 	TargetRPS   float64 `json:"target_rps"`
 	DurationSec float64 `json:"duration_seconds"`
+	Distinct    bool    `json:"distinct,omitempty"` // cache-busting mode: every window unique
 	Sent        int64   `json:"sent"`
 	OK          int64   `json:"ok"`
 	Cached      int64   `json:"cached"`
@@ -450,12 +463,30 @@ func runLoadgen(o options) error {
 			base, spec.M, len(spec.WindowFeatures))
 	}
 
+	if o.rps <= 0 {
+		return fmt.Errorf("-rps must be positive")
+	}
+	interval := time.Duration(float64(time.Second) / o.rps)
+	total := int(o.rps * o.duration.Seconds())
+
 	// a fixed pool of synthetic windows: distinct enough to exercise the
-	// model, reused enough to exercise the cache
+	// model, reused enough to exercise the cache. -distinct gives every
+	// request its own window instead, so no request can be answered from
+	// the prediction cache — the uncached model path under load.
 	if o.pool <= 0 {
 		o.pool = 64
 	}
-	s := rng.NewLabeled(o.seed, "loadgen")
+	if o.distinct {
+		o.pool = total
+	}
+	// distinct mode draws from its own stream so its windows never collide
+	// with a pooled run's against the same daemon (same seed, shared RNG
+	// prefix would re-hit the cache for the first -pool requests)
+	label := "loadgen"
+	if o.distinct {
+		label = "loadgen-distinct"
+	}
+	s := rng.NewLabeled(o.seed, label)
 	payloads := make([][]byte, o.pool)
 	for i := range payloads {
 		w := make([][]float64, spec.M)
@@ -468,14 +499,12 @@ func runLoadgen(o options) error {
 		}
 		payloads[i], _ = json.Marshal(map[string]any{"window": w})
 	}
-
-	if o.rps <= 0 {
-		return fmt.Errorf("-rps must be positive")
+	mode := "cached"
+	if o.distinct {
+		mode = "distinct (cache-busting)"
 	}
-	interval := time.Duration(float64(time.Second) / o.rps)
-	total := int(o.rps * o.duration.Seconds())
-	fmt.Fprintf(os.Stderr, "dfserved: loadgen %g rps for %v against %s (%d requests)...\n",
-		o.rps, o.duration, base, total)
+	fmt.Fprintf(os.Stderr, "dfserved: loadgen %g rps for %v against %s (%d requests, %s windows)...\n",
+		o.rps, o.duration, base, total, mode)
 
 	var sent, ok, cached, shed, errs atomic.Int64
 	lats := make([]float64, 0, total)
@@ -542,6 +571,7 @@ func runLoadgen(o options) error {
 		Target:      base,
 		TargetRPS:   o.rps,
 		DurationSec: o.duration.Seconds(),
+		Distinct:    o.distinct,
 		Sent:        sent.Load(),
 		OK:          ok.Load(),
 		Cached:      cached.Load(),

@@ -35,7 +35,7 @@ func cmdAB(ctx context.Context, args []string) error {
 	if err != nil {
 		return usageError{fmt.Errorf("ab: %w", err)}
 	}
-	flush, err := c.startTelemetry()
+	flush, err := c.startTelemetry("dfvar")
 	if err != nil {
 		return err
 	}

@@ -71,6 +71,8 @@ func main() {
 		err = cmdPlot(ctx, os.Args[2:])
 	case "ab":
 		err = cmdAB(ctx, os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -115,14 +117,15 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [-monitor FILE|-]
+  dfvar campaign [-days N] [-seed S] [-cache FILE] [-small] [-faults SPEC] [-workers N] [-telemetry FILE] [-trace FILE] [-pprof ADDR] [-monitor FILE|-]
                  [-distribute ADDR] [-dist-checkpoint FILE] [-dist-lease DUR]
-  dfvar worker   -join URL [-name NAME] [-telemetry FILE] [-pprof ADDR]
+  dfvar worker   -join URL [-name NAME] [-telemetry FILE] [-trace FILE] [-pprof ADDR]
   dfvar report   [-cache FILE] [-days N] [-seed S] [-small] [-fast] [-faults SPEC] [-workers N] [-telemetry FILE] [-pprof ADDR] [-monitor FILE|-] [artifact ...]
   dfvar census   [-small]
   dfvar export   [-cache FILE] [-days N] [-seed S] [-small] -out DIR
   dfvar plot     [-cache FILE] [-days N] [-seed S] [-small] [-fast] -out DIR
   dfvar ab       [-days N] [-seed S] [-small] [-faults SPEC] -arms R/P,R/P[,...] [-out FILE] [-verify] [-blame]
+  dfvar trace    [-out FILE.chrome.json] [-json FILE|-] SPANFILE [SPANFILE ...]
 artifacts: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 all
 routing policies: minimal, valiant, adaptive (UGAL-style), feedback (stall-EWMA
   biased); placement policies: firstfit, compact, interference. -routing and
@@ -140,6 +143,11 @@ fault specs: links=N routers=N drains=N dropouts=N outage=SEC droplen=SEC,
   (OpenMetrics) endpoints; -monitor FILE streams network-weather anomaly events
   as JSONL while the campaign simulates ("-" = stderr) and prints a weather
   report. All three are observation-only: output bytes are identical on or off.
+-trace FILE streams every finished span (with trace/span IDs and process
+  identity) to a JSONL file on exit, plus a Chrome trace-event view at
+  FILE.chrome.json; spans propagate across processes via W3C traceparent, and
+  "dfvar trace" stitches the files from a coordinator and its workers into one
+  cross-process timeline with a wait/compute/network breakdown.
 -distribute ADDR serves a campaign to "dfvar worker" processes instead of
   simulating locally: workers lease runs, crashed or hung workers are detected
   and their work re-dispatched, and with -dist-checkpoint a killed coordinator
@@ -158,6 +166,7 @@ type commonFlags struct {
 	placement string
 	workers   int
 	telemetry string
+	trace     string
 	pprof     string
 	monitor   string
 }
@@ -179,6 +188,8 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 		"simulation/analysis worker count (0 = $"+engine.EnvWorkers+" or GOMAXPROCS); results are identical for any value")
 	fs.StringVar(&c.telemetry, "telemetry", "",
 		"write a telemetry snapshot (metrics + span trace, docs/OBSERVABILITY.md) to this JSON file on exit")
+	fs.StringVar(&c.trace, "trace", "",
+		`write the span stream to this JSONL file on exit (plus a Chrome trace-event view at FILE`+telemetry.TraceEventsSuffix+`); stitch files from several processes with "dfvar trace"`)
 	fs.StringVar(&c.pprof, "pprof", "",
 		"serve net/http/pprof and a live /telemetry + /metrics endpoint on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.monitor, "monitor", "",
@@ -244,23 +255,30 @@ func (c commonFlags) attachMonitor(cfg *cluster.Config) (finish func(), err erro
 	}, nil
 }
 
-// startTelemetry installs the process-wide registry when -telemetry or
-// -pprof was given. It must run before any instrumented component is
-// constructed (handles are captured at construction time), and the returned
-// flush must be deferred so the snapshot is written on every exit path —
-// including the graceful-cancellation return after SIGINT.
-func (c commonFlags) startTelemetry() (flush func(), err error) {
-	if c.telemetry != "" || c.pprof != "" {
-		telemetry.Enable(telemetry.New())
+// startTelemetry installs the process-wide registry when -telemetry,
+// -trace, or -pprof was given, stamped with the process role so stitched
+// multi-process traces attribute spans. It must run before any
+// instrumented component is constructed (handles are captured at
+// construction time), and the returned flush must be deferred so the
+// snapshot and span stream are written on every exit path — including the
+// graceful-cancellation return after SIGINT.
+func (c commonFlags) startTelemetry(role string) (flush func(), err error) {
+	if c.telemetry != "" || c.trace != "" || c.pprof != "" {
+		reg := telemetry.New()
+		reg.SetRole(role)
+		telemetry.Enable(reg)
 	}
 	if c.pprof != "" {
 		if err := telemetry.ServePprof(c.pprof); err != nil {
 			return nil, err
 		}
 	}
-	path := c.telemetry
+	path, tracePath := c.telemetry, c.trace
 	return func() {
 		if err := telemetry.Flush(path); err != nil {
+			fmt.Fprintf(os.Stderr, "dfvar: %v\n", err)
+		}
+		if err := telemetry.FlushTrace(tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "dfvar: %v\n", err)
 		}
 	}, nil
@@ -314,7 +332,11 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	if err := c.checkPolicies(); err != nil {
 		return err
 	}
-	flush, err := c.startTelemetry()
+	role := "dfvar"
+	if *distribute != "" {
+		role = "coordinator"
+	}
+	flush, err := c.startTelemetry(role)
 	if err != nil {
 		return err
 	}
@@ -411,6 +433,8 @@ func cmdWorker(ctx context.Context, args []string) error {
 	name := fs.String("name", "", "worker label in coordinator logs (default host:pid)")
 	telemetryPath := fs.String("telemetry", "",
 		"write a telemetry snapshot (docs/OBSERVABILITY.md) to this JSON file on exit")
+	tracePath := fs.String("trace", "",
+		`write the span stream to this JSONL file on exit (stitch with "dfvar trace")`)
 	pprofAddr := fs.String("pprof", "",
 		"serve net/http/pprof and live /telemetry + /metrics on this address")
 	if err := parseFlags(fs, args); err != nil {
@@ -419,8 +443,8 @@ func cmdWorker(ctx context.Context, args []string) error {
 	if *join == "" {
 		return usageError{errors.New("worker: -join URL is required")}
 	}
-	c := commonFlags{telemetry: *telemetryPath, pprof: *pprofAddr}
-	flush, err := c.startTelemetry()
+	c := commonFlags{telemetry: *telemetryPath, trace: *tracePath, pprof: *pprofAddr}
+	flush, err := c.startTelemetry("worker")
 	if err != nil {
 		return err
 	}
@@ -465,7 +489,7 @@ func cmdReport(ctx context.Context, args []string) error {
 	if err := c.checkPolicies(); err != nil {
 		return err
 	}
-	flush, err := c.startTelemetry()
+	flush, err := c.startTelemetry("dfvar")
 	if err != nil {
 		return err
 	}
@@ -521,7 +545,7 @@ func cmdExport(ctx context.Context, args []string) error {
 	if err := c.checkPolicies(); err != nil {
 		return err
 	}
-	flush, err := c.startTelemetry()
+	flush, err := c.startTelemetry("dfvar")
 	if err != nil {
 		return err
 	}

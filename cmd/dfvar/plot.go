@@ -28,7 +28,7 @@ func cmdPlot(ctx context.Context, args []string) error {
 	if err := c.checkPolicies(); err != nil {
 		return err
 	}
-	flush, err := c.startTelemetry()
+	flush, err := c.startTelemetry("dfvar")
 	if err != nil {
 		return err
 	}

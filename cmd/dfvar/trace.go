@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonvar/internal/telemetry"
+)
+
+// cmdTrace stitches span-stream files written by -trace in several
+// processes (coordinator + workers, daemon + load generator) into one
+// cross-process timeline: a process table, the merged span tree's roots
+// and cross-process edges, a flame summary, and the coordinator-wait vs
+// worker-compute vs network/retry breakdown. Orphaned spans — a parent
+// recorded in no input file — are flagged, because they usually mean a
+// process's trace file was forgotten.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	out := fs.String("out", "",
+		"also write the merged Chrome trace-event view (open in chrome://tracing or Perfetto) to this file")
+	jsonOut := fs.String("json", "",
+		`also write the machine-readable stitch summary to this JSON file ("-" = stdout instead of the report)`)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return usageError{fmt.Errorf("trace: need at least one span file (written by -trace FILE)")}
+	}
+	files := make([]*telemetry.TraceFile, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		tf, err := telemetry.ReadTraceFile(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, tf)
+	}
+	st := telemetry.StitchTraces(files)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := st.MergedTraceEvents(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dfvar: merged trace-event view written to %s\n", *out)
+	}
+	if *jsonOut != "" {
+		enc := func(f *os.File) error {
+			e := json.NewEncoder(f)
+			e.SetIndent("", "  ")
+			return e.Encode(st.Summary())
+		}
+		if *jsonOut == "-" {
+			return enc(os.Stdout)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := enc(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dfvar: stitch summary written to %s\n", *jsonOut)
+	}
+	fmt.Print(st.Report())
+	return nil
+}

@@ -513,9 +513,11 @@ func (c *Cluster) runCampaign(ctx context.Context, mkExec func(plans []*plan) Un
 	}
 	var runErr error
 	for len(pending) > 0 && runErr == nil {
-		_, roundSpan := telemetry.Start(ctx, telemetry.SpanCampaignRound)
+		roundCtx, roundSpan := telemetry.Start(ctx, telemetry.SpanCampaignRound)
 		c.tm.rounds.Add(1)
-		outs, roundErr := exec.ExecuteRound(ctx, pending, overrides, progress)
+		// the round-span context travels into the executor so a distributed
+		// executor can parent per-unit lease spans under the round
+		outs, roundErr := exec.ExecuteRound(roundCtx, pending, overrides, progress)
 		if len(outs) < len(pending) {
 			// a misbehaving executor returned a short slice; treat the
 			// missing tail as never-executed

@@ -109,6 +109,7 @@ func (c *client) once(ctx context.Context, path string, body []byte, resp any) e
 		return fmt.Errorf("dist: build %s request: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	telemetry.InjectTraceparent(ctx, hreq.Header)
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("dist: %s: %w", path, err)

@@ -90,6 +90,22 @@ type unitState struct {
 	attempts  int       // leases granted for this unit this round
 	done      bool
 	out       cluster.UnitOutcome
+	// span covers the current lease, grant → result/requeue, as a child of
+	// the round span (nil when telemetry is off). Its context rides to the
+	// worker in LeaseResponse.Traceparent; its outcome attr records how the
+	// lease ended (ok, drained, error, lease expired, worker died, …).
+	span *telemetry.Span
+}
+
+// endLeaseSpanLocked closes the unit's current lease span with an outcome
+// attribute. Nil-safe; caller holds co.mu.
+func (st *unitState) endLeaseSpanLocked(outcome string) {
+	if st.span == nil {
+		return
+	}
+	st.span.SetAttr("outcome", outcome)
+	st.span.End()
+	st.span = nil
 }
 
 // workerState tracks one registered worker.
@@ -122,6 +138,12 @@ type Coordinator struct {
 	campDone  bool
 	workers   map[string]*workerState
 	seq       int64 // worker/lease id source
+	// roundCtx carries the driver's campaign→round span chain during a
+	// round (nil between rounds); per-lease spans are started from it.
+	// campTP is the campaign span's traceparent, handed to joining workers
+	// so their session spans land in the campaign trace.
+	roundCtx context.Context
+	campTP   string
 
 	cp     *checkpoint
 	replay map[int]map[int]cluster.UnitOutcome
@@ -281,6 +303,12 @@ func (co *Coordinator) ExecuteRound(ctx context.Context, pending []int, override
 	co.mu.Lock()
 	co.round++
 	round := co.round
+	co.roundCtx = ctx
+	if rs := telemetry.FromContext(ctx); rs != nil {
+		if psc, ok := rs.ParentSpanContext(); ok {
+			co.campTP = telemetry.FormatTraceparent(psc)
+		}
+	}
 	co.units = make(map[int]*unitState, len(pending))
 	co.overrides = append([]cluster.PlanOverride(nil), overrides...)
 	co.tick = completed
@@ -333,8 +361,12 @@ func (co *Coordinator) ExecuteRound(ctx context.Context, pending []int, override
 				if st.done {
 					outs[st.k] = st.out
 				}
+				// leases still open at round teardown (abort paths) close
+				// with an explicit outcome so no span dangles unrecorded
+				st.endLeaseSpanLocked("round over")
 			}
 			co.units = nil
+			co.roundCtx = nil
 			co.gPending.Set(0)
 			co.gLease.Set(0)
 			co.mu.Unlock()
@@ -384,6 +416,7 @@ func (co *Coordinator) sweep() {
 // completing: at that point the failure is systemic, not transient.
 // Caller holds co.mu.
 func (co *Coordinator) requeueLocked(i int, st *unitState, now time.Time, why string) {
+	st.endLeaseSpanLocked(why)
 	st.leased = false
 	st.leaseID = ""
 	st.worker = ""
@@ -427,7 +460,22 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// rpcSpan opens a coordinator-side RPC span when the request carries a
+// valid traceparent header (worker calls made under a span propagate one).
+// Requests without a header — heartbeats on a background context, plain
+// curl — get no span, so the merged trace grows no extra roots. Returns a
+// nil-safe handle.
+func rpcSpan(r *http.Request, endpoint string) *telemetry.Span {
+	sc, err := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader))
+	if err != nil {
+		return nil
+	}
+	_, sp := telemetry.Start(telemetry.ContextWithRemote(context.Background(), sc), telemetry.SpanDistRPCPrefix+endpoint)
+	return sp
+}
+
 func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	defer rpcSpan(r, "join").End()
 	var req JoinRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -446,6 +494,7 @@ func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("w%d", co.seq)
 	co.workers[id] = &workerState{id: id, name: req.Name, lastSeen: time.Now()}
 	n := len(co.workers)
+	campTP := co.campTP
 	co.gWorkers.Set(float64(n))
 	co.mu.Unlock()
 	fmt.Fprintf(co.cfg.Log, "dist: worker %s joined (%s), %d alive\n", id, req.Name, n)
@@ -456,6 +505,7 @@ func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		NumUnits:         co.numUnits,
 		LeaseSeconds:     co.cfg.Lease.Seconds(),
 		HeartbeatSeconds: co.cfg.Heartbeat.Seconds(),
+		Traceparent:      campTP,
 	})
 }
 
@@ -472,6 +522,7 @@ func (co *Coordinator) touchLocked(id string) (*workerState, bool) {
 }
 
 func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	defer rpcSpan(r, "lease").End()
 	var req LeaseRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -510,17 +561,35 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	st.deadline = now.Add(co.cfg.Lease)
 	co.granted.Add(1)
 	co.gLease.Add(1)
+	// open the lease span under the round span; its context rides to the
+	// worker so the unit's execution spans parent to it cross-process
+	var leaseTP string
+	if co.roundCtx != nil {
+		_, sp := telemetry.Start(co.roundCtx, telemetry.SpanDistUnit)
+		sp.SetAttr("unit", fmt.Sprint(best))
+		sp.SetAttr("round", fmt.Sprint(co.round))
+		sp.SetAttr("worker", req.WorkerID)
+		sp.SetAttr("attempt", fmt.Sprint(st.attempts))
+		st.span = sp
+		if sc, ok := sp.SpanContext(); ok {
+			leaseTP = telemetry.FormatTraceparent(sc)
+		}
+	}
 	writeJSON(w, http.StatusOK, LeaseResponse{
-		Status:       StatusLease,
-		LeaseID:      st.leaseID,
-		Unit:         best,
-		Round:        co.round,
-		Overrides:    co.overrides,
-		LeaseSeconds: co.cfg.Lease.Seconds(),
+		Status:              StatusLease,
+		LeaseID:             st.leaseID,
+		Unit:                best,
+		Round:               co.round,
+		Attempt:             st.attempts,
+		Overrides:           co.overrides,
+		LeaseSeconds:        co.cfg.Lease.Seconds(),
+		Traceparent:         leaseTP,
+		CampaignTraceparent: co.campTP,
 	})
 }
 
 func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	defer rpcSpan(r, "result").End()
 	var req ResultRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -539,6 +608,7 @@ func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		// a genuine (non-drain) simulation failure aborts the campaign,
 		// mirroring the in-process executor
 		co.unitErr = fmt.Errorf("dist: worker %s, unit %d: %s", req.WorkerID, req.Unit, req.Error)
+		st.endLeaseSpanLocked("error")
 		writeJSON(w, http.StatusOK, ResultResponse{Status: StatusOK})
 		return
 	}
@@ -563,6 +633,11 @@ func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		st.leased = false
 		co.gLease.Add(-1)
 	}
+	if out.Drained {
+		st.endLeaseSpanLocked("drained")
+	} else {
+		st.endLeaseSpanLocked("ok")
+	}
 	st.done = true
 	st.out = out
 	co.results.Add(1)
@@ -584,6 +659,7 @@ func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	defer rpcSpan(r, "heartbeat").End()
 	var req HeartbeatRequest
 	if !readJSON(w, r, &req) {
 		return

@@ -106,6 +106,12 @@ type JoinResponse struct {
 	NumUnits         int          `json:"num_units"`
 	LeaseSeconds     float64      `json:"lease_seconds"`     // how long a granted lease lives
 	HeartbeatSeconds float64      `json:"heartbeat_seconds"` // expected heartbeat cadence while holding a lease
+	// Traceparent carries the coordinator's campaign span context (W3C
+	// traceparent format) so the worker's session span joins the campaign
+	// trace. Empty when the coordinator runs without telemetry; malformed
+	// values make the worker start a fresh root (observation-only either
+	// way — tracing never alters scheduling or results).
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // Lease statuses.
@@ -131,9 +137,19 @@ type LeaseResponse struct {
 	LeaseID           string                 `json:"lease_id,omitempty"`
 	Unit              int                    `json:"unit"`
 	Round             int                    `json:"round"`
+	Attempt           int                    `json:"attempt,omitempty"` // 1-based dispatch count for this unit this round
 	Overrides         []cluster.PlanOverride `json:"overrides,omitempty"`
 	LeaseSeconds      float64                `json:"lease_seconds,omitempty"`
 	RetryAfterSeconds float64                `json:"retry_after_seconds,omitempty"`
+	// Traceparent carries the coordinator's per-lease dist/unit span
+	// context; the worker parents its unit-execution span under it so the
+	// stitched trace shows grant → simulate → deliver across processes.
+	Traceparent string `json:"traceparent,omitempty"`
+	// CampaignTraceparent carries the campaign span context on grants, so
+	// a worker whose join raced ahead of the first round can still root
+	// its session span under the campaign instead of starting a second
+	// tree.
+	CampaignTraceparent string `json:"campaign_traceparent,omitempty"`
 }
 
 // ResultRequest reports a unit outcome. RunGob carries the completed

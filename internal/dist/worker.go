@@ -12,6 +12,7 @@ import (
 
 	"dragonvar/internal/cluster"
 	"dragonvar/internal/engine"
+	"dragonvar/internal/telemetry"
 )
 
 // WorkerConfig parameterizes a worker process.
@@ -41,6 +42,13 @@ type Worker struct {
 	id   string
 	join JoinResponse
 	sim  *cluster.UnitSim
+
+	// session is the worker's dist/worker span, rooted under the campaign
+	// trace via the traceparent handed back at join or with the first
+	// lease (nil when telemetry is off). sessionCtx carries it so lease
+	// RPCs propagate the session's identity to the coordinator.
+	session    *telemetry.Span
+	sessionCtx context.Context
 }
 
 // NewWorker validates the config; the coordinator is first contacted in
@@ -66,6 +74,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	if err := w.joinAndPrepare(ctx); err != nil {
 		return err
 	}
+	defer w.endSession()
+	if w.join.Traceparent != "" {
+		w.startSession(w.join.Traceparent)
+	}
 	units := 0
 	for {
 		if ctx.Err() != nil {
@@ -73,7 +85,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		var lease LeaseResponse
-		err := w.client.post(ctx, "/v1/lease", LeaseRequest{WorkerID: w.id}, &lease)
+		err := w.client.post(w.withSession(ctx), "/v1/lease", LeaseRequest{WorkerID: w.id}, &lease)
 		if err != nil {
 			if ctx.Err() != nil {
 				fmt.Fprintf(w.log, "dist: worker %s draining after %d units\n", w.id, units)
@@ -137,6 +149,43 @@ func (w *Worker) joinAndPrepare(ctx context.Context) error {
 	return nil
 }
 
+// startSession opens the worker's dist/worker session span, parented into
+// the campaign trace when tp parses and as a fresh root otherwise (the
+// malformed-header fallback). Idempotent; no-op when telemetry is off.
+func (w *Worker) startSession(tp string) {
+	if w.session != nil || !telemetry.Enabled() {
+		return
+	}
+	ctx := context.Background()
+	if sc, err := telemetry.ParseTraceparent(tp); err == nil {
+		ctx = telemetry.ContextWithRemote(ctx, sc)
+	}
+	sctx, sp := telemetry.Start(ctx, telemetry.SpanDistWorker)
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("worker", w.id)
+	if w.cfg.Name != "" {
+		sp.SetAttr("name", w.cfg.Name)
+	}
+	w.session, w.sessionCtx = sp, sctx
+}
+
+// withSession grafts the session span's identity onto ctx so RPCs made
+// under it carry a traceparent header. Returns ctx unchanged before the
+// session starts.
+func (w *Worker) withSession(ctx context.Context) context.Context {
+	if w.sessionCtx == nil {
+		return ctx
+	}
+	return telemetry.WithSpanFrom(ctx, w.sessionCtx)
+}
+
+// endSession closes the session span (nil-safe).
+func (w *Worker) endSession() {
+	w.session.End()
+}
+
 // rejoin re-registers after a coordinator restart, keeping the existing
 // simulation state (the digest check guards against a different campaign).
 func (w *Worker) rejoin(ctx context.Context) error {
@@ -161,6 +210,21 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) error {
 	if w.cfg.afterLease != nil {
 		w.cfg.afterLease(lease.Unit, lease.Round)
 	}
+	// a worker that joined before the first round roots its session span
+	// off the campaign traceparent delivered with the grant
+	w.startSession(lease.CampaignTraceparent)
+	// the unit's spans parent to the coordinator's dist/unit lease span;
+	// a missing or malformed traceparent degrades to a local root
+	execCtx := context.Background()
+	if sc, perr := telemetry.ParseTraceparent(lease.Traceparent); perr == nil {
+		execCtx = telemetry.ContextWithRemote(execCtx, sc)
+	}
+	execCtx, execSpan := telemetry.Start(execCtx, telemetry.SpanDistUnitExec)
+	execSpan.SetAttr("worker", w.id)
+	execSpan.SetAttr("unit", fmt.Sprint(lease.Unit))
+	execSpan.SetAttr("round", fmt.Sprint(lease.Round))
+	execSpan.SetAttr("attempt", fmt.Sprint(lease.Attempt))
+	defer execSpan.End()
 	// heartbeat while the (possibly long) simulation runs, so the
 	// coordinator can tell "slow" from "dead"
 	hbStop := make(chan struct{})
@@ -187,6 +251,7 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) error {
 	}()
 
 	res := ResultRequest{WorkerID: w.id, LeaseID: lease.LeaseID, Unit: lease.Unit, Round: lease.Round}
+	_, simSpan := telemetry.Start(execCtx, telemetry.SpanDistSimulate)
 	err := w.sim.Apply(lease.Overrides)
 	if err == nil {
 		var out cluster.UnitOutcome
@@ -200,6 +265,7 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) error {
 			}
 		}
 	}
+	simSpan.End()
 	if err != nil {
 		// report the failure so the coordinator can abort loudly instead
 		// of waiting out the lease
@@ -210,8 +276,14 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) error {
 
 	deliverCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	// the deliver span parents to the unit-exec span but rides the fresh
+	// delivery context, covering the RPC including its retries
+	dctx, deliverSpan := telemetry.Start(execCtx, telemetry.SpanDistDeliver)
+	deliverCtx = telemetry.WithSpanFrom(deliverCtx, dctx)
 	var ack ResultResponse
-	if derr := w.client.post(deliverCtx, "/v1/result", res, &ack); derr != nil {
+	derr := w.client.post(deliverCtx, "/v1/result", res, &ack)
+	deliverSpan.End()
+	if derr != nil {
 		var he *HTTPError
 		if errors.As(derr, &he) && he.Status == http.StatusNotFound {
 			return nil // coordinator restarted; next lease rejoins

@@ -108,6 +108,12 @@ type Server struct {
 	latForecast            *telemetry.Histogram
 	latDeviation           *telemetry.Histogram
 	latBlame               *telemetry.Histogram
+	latSpec                *telemetry.Histogram
+
+	// per-endpoint request counters, split out from the aggregate
+	// serve/requests_total so a traffic mix is readable off /metrics
+	reqForecast, reqDeviation *telemetry.Counter
+	reqBlame, reqSpec         *telemetry.Counter
 }
 
 // New builds the server and starts its batching loop. Enable telemetry
@@ -130,7 +136,12 @@ func New(cfg Config) *Server {
 		latForecast: telemetry.H(telemetry.MServeForecastSecs, telemetry.LatencyBuckets),
 		latDeviation: telemetry.H(telemetry.MServeDeviationSecs,
 			telemetry.LatencyBuckets),
-		latBlame: telemetry.H(telemetry.MServeBlameSecs, telemetry.LatencyBuckets),
+		latBlame:     telemetry.H(telemetry.MServeBlameSecs, telemetry.LatencyBuckets),
+		latSpec:      telemetry.H(telemetry.MServeSpecSecs, telemetry.LatencyBuckets),
+		reqForecast:  telemetry.C(telemetry.MServeForecastReqs),
+		reqDeviation: telemetry.C(telemetry.MServeDeviationReqs),
+		reqBlame:     telemetry.C(telemetry.MServeBlameReqs),
+		reqSpec:      telemetry.C(telemetry.MServeSpecReqs),
 	}
 	if cfg.Forecaster != nil {
 		s.m, s.h = cfg.Forecaster.WindowShape()
@@ -142,9 +153,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/spec", s.handleSpec)
-	s.mux.HandleFunc("/v1/forecast", s.limited(func() *telemetry.Histogram { return s.latForecast }, s.handleForecast))
-	s.mux.HandleFunc("/v1/deviation", s.limited(func() *telemetry.Histogram { return s.latDeviation }, s.handleDeviation))
-	s.mux.HandleFunc("/v1/advisor/blame", s.limited(func() *telemetry.Histogram { return s.latBlame }, s.handleBlame))
+	s.mux.HandleFunc("/v1/forecast", s.limited("forecast",
+		func() *telemetry.Histogram { return s.latForecast },
+		func() *telemetry.Counter { return s.reqForecast }, s.handleForecast))
+	s.mux.HandleFunc("/v1/deviation", s.limited("deviation",
+		func() *telemetry.Histogram { return s.latDeviation },
+		func() *telemetry.Counter { return s.reqDeviation }, s.handleDeviation))
+	s.mux.HandleFunc("/v1/advisor/blame", s.limited("blame",
+		func() *telemetry.Histogram { return s.latBlame },
+		func() *telemetry.Counter { return s.reqBlame }, s.handleBlame))
 	return s
 }
 
@@ -189,19 +206,45 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// traced opens the per-request serve/request root span: it joins the
+// caller's trace when the request carries a W3C traceparent header (a
+// malformed header degrades to a fresh root), and echoes the span's own
+// identity back in the response traceparent header so clients can
+// correlate server-side spans with their request. Tracing is
+// observation-only; with telemetry off this is a no-op returning a nil
+// (no-op) span handle.
+func (s *Server) traced(w http.ResponseWriter, r *http.Request, endpoint string) (*http.Request, *telemetry.Span) {
+	ctx := telemetry.ExtractTraceparent(r.Context(), r.Header)
+	ctx, span := telemetry.Start(ctx, telemetry.SpanServeRequest)
+	span.SetAttr("endpoint", endpoint)
+	if sc, ok := span.SpanContext(); ok {
+		w.Header().Set(telemetry.TraceparentHeader, telemetry.FormatTraceparent(sc))
+	}
+	return r.WithContext(ctx), span
+}
+
 // limited wraps an API handler with the admission pipeline: drain check,
-// bounded wait queue, concurrency semaphore, and latency accounting. The
-// histogram is fetched lazily so the wrapper can be built before New
-// finishes wiring metric handles.
-func (s *Server) limited(lat func() *telemetry.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+// bounded wait queue, concurrency semaphore, per-endpoint request
+// accounting, and the per-request trace span. The metric handles are
+// fetched lazily so the wrapper can be built before New finishes wiring
+// them.
+func (s *Server) limited(endpoint string, lat func() *telemetry.Histogram, cnt func() *telemetry.Counter, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		r, span := s.traced(w, r, endpoint)
+		defer span.End()
+
+		// the admit span covers everything between arrival and holding an
+		// execution slot: drain check, queue wait, semaphore acquire
+		_, admit := telemetry.Start(r.Context(), telemetry.SpanServeAdmit)
 
 		// admission: a shared drain lock held for the request's lifetime.
 		// TryRLock fails only while Drain holds (or waits for) the write
 		// lock, at which point refusing is exactly the intent.
 		if s.draining.Load() || !s.drainMu.TryRLock() {
 			s.shed.Inc()
+			admit.SetAttr("outcome", "shed-draining")
+			admit.End()
 			// a drain usually precedes a restart: tell well-behaved clients
 			// when it is worth trying again instead of hammering the drain
 			w.Header().Set("Retry-After", "5")
@@ -215,6 +258,8 @@ func (s *Server) limited(lat func() *telemetry.Histogram, fn http.HandlerFunc) h
 		if int(depth) > s.cfg.MaxQueue {
 			s.waiting.Add(-1)
 			s.shed.Inc()
+			admit.SetAttr("outcome", "shed-queue-full")
+			admit.End()
 			// queue-full overload is transient at request timescales
 			w.Header().Set("Retry-After", "1")
 			apiError(w, http.StatusTooManyRequests, "overloaded: %d requests queued", depth-1)
@@ -225,11 +270,16 @@ func (s *Server) limited(lat func() *telemetry.Histogram, fn http.HandlerFunc) h
 		case s.sem <- struct{}{}:
 		case <-r.Context().Done():
 			s.waiting.Add(-1)
+			admit.SetAttr("outcome", "cancelled")
+			admit.End()
 			return // client went away while queued; nothing to answer
 		}
 		s.waiting.Add(-1)
+		admit.SetAttr("outcome", "admitted")
+		admit.End()
 		s.inflight.Add(1)
 		s.reqs.Inc()
+		cnt().Inc()
 		defer func() {
 			<-s.sem
 			s.inflight.Add(-1)
@@ -278,7 +328,12 @@ type specResponse struct {
 	CacheEntries      int      `json:"cache_entries"`
 }
 
-func (s *Server) handleSpec(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	_, span := s.traced(w, r, "spec")
+	defer span.End()
+	s.reqSpec.Inc()
+	defer s.latSpec.ObserveSince(start)
 	writeJSON(w, specResponse{
 		Dataset:           s.cfg.ForecastMeta.Dataset,
 		Spec:              s.cfg.ForecastMeta.Spec,
@@ -344,11 +399,15 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	key := windowHash(req.Window)
 	if pred, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
+		telemetry.FromContext(r.Context()).SetAttr("cached", "true")
 		writeJSON(w, forecastResponse{Prediction: pred, Cached: true})
 		return
 	}
 	s.cacheMisses.Inc()
-	pred, err := s.batcher.predict(r.Context(), req.Window)
+	telemetry.FromContext(r.Context()).SetAttr("cached", "false")
+	pctx, predictSpan := telemetry.Start(r.Context(), telemetry.SpanServePredict)
+	pred, err := s.batcher.predict(pctx, req.Window)
+	predictSpan.End()
 	if err != nil {
 		s.errs.Inc()
 		apiError(w, http.StatusServiceUnavailable, "%v", err)

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"dragonvar/internal/modelstore"
+	"dragonvar/internal/rng"
+	"dragonvar/internal/telemetry"
+)
+
+// postJSONHeader is postJSON with an optional traceparent request header.
+func postJSONHeader(t *testing.T, url string, body any, traceparent string) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(telemetry.TraceparentHeader, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestRequestTraceJoinsCallerTrace pins the serving half of the propagation
+// contract: a request carrying a traceparent header gets a serve/request
+// span in the caller's trace, the span's identity is echoed back in the
+// response traceparent header, and serve/admit + serve/predict children
+// record the admission and model phases.
+func TestRequestTraceJoinsCallerTrace(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.Enable(reg)
+	defer telemetry.Disable()
+
+	f := trainForecaster(t)
+	_, ts := newTestServer(t, Config{Forecaster: f})
+
+	callerTrace := telemetry.NewTraceID()
+	callerSpan := telemetry.NewSpanID()
+	header := telemetry.FormatTraceparent(telemetry.SpanContext{Trace: callerTrace, Span: callerSpan})
+
+	win := randomWindow(rng.New(21))
+	for i := 0; i < 2; i++ { // second request hits the prediction cache
+		resp := postForecastWithHeader(t, ts.URL, win, header)
+		got := resp.Header.Get(telemetry.TraceparentHeader)
+		sc, err := telemetry.ParseTraceparent(got)
+		if err != nil {
+			t.Fatalf("response traceparent %q: %v", got, err)
+		}
+		if sc.Trace != callerTrace {
+			t.Fatalf("response trace %s, want the caller's %s", sc.Trace, callerTrace)
+		}
+	}
+
+	snap := reg.Snapshot()
+	var reqSpans, admitSpans, predictSpans []telemetry.SpanRecord
+	byID := map[string]telemetry.SpanRecord{}
+	for _, sp := range snap.Spans {
+		byID[sp.SpanID] = sp
+		switch sp.Name {
+		case telemetry.SpanServeRequest:
+			reqSpans = append(reqSpans, sp)
+		case telemetry.SpanServeAdmit:
+			admitSpans = append(admitSpans, sp)
+		case telemetry.SpanServePredict:
+			predictSpans = append(predictSpans, sp)
+		}
+	}
+	if len(reqSpans) != 2 || len(admitSpans) != 2 {
+		t.Fatalf("got %d request / %d admit spans, want 2 / 2", len(reqSpans), len(admitSpans))
+	}
+	if len(predictSpans) != 1 { // cache hit skips the model
+		t.Fatalf("got %d predict spans, want 1 (second request is cached)", len(predictSpans))
+	}
+	cached := map[string]bool{}
+	for _, sp := range reqSpans {
+		if sp.TraceID != callerTrace.String() {
+			t.Errorf("request span in trace %s, want %s", sp.TraceID, callerTrace)
+		}
+		if sp.ParentSpanID != callerSpan.String() {
+			t.Errorf("request span parented to %q, want the caller's span %s", sp.ParentSpanID, callerSpan)
+		}
+		if sp.Attrs["endpoint"] != "forecast" {
+			t.Errorf("request span endpoint = %q, want forecast", sp.Attrs["endpoint"])
+		}
+		cached[sp.Attrs["cached"]] = true
+	}
+	if !cached["true"] || !cached["false"] {
+		t.Errorf("request spans should record one cached=false and one cached=true, got %v", cached)
+	}
+	for _, sp := range append(admitSpans, predictSpans...) {
+		p, ok := byID[sp.ParentSpanID]
+		if !ok || p.Name != telemetry.SpanServeRequest {
+			t.Errorf("%s span not parented to a request span (parent %q)", sp.Name, sp.ParentSpanID)
+		}
+	}
+	for _, sp := range admitSpans {
+		if sp.Attrs["outcome"] != "admitted" {
+			t.Errorf("admit span outcome = %q, want admitted", sp.Attrs["outcome"])
+		}
+	}
+}
+
+// TestRequestTraceMalformedHeaderAndDisabled: a malformed traceparent
+// degrades to a fresh root (still echoed back); with telemetry off the
+// response carries no traceparent at all.
+func TestRequestTraceMalformedHeaderAndDisabled(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.Enable(reg)
+
+	f := trainForecaster(t)
+	_, ts := newTestServer(t, Config{Forecaster: f})
+
+	resp := postForecastWithHeader(t, ts.URL, randomWindow(rng.New(22)), "00-zznotvalid")
+	sc, err := telemetry.ParseTraceparent(resp.Header.Get(telemetry.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent after malformed request header: %v", err)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, sp := range snap.Spans {
+		if sp.Name == telemetry.SpanServeRequest && sp.SpanID == sc.Span.String() {
+			found = true
+			if sp.ParentSpanID != "" {
+				t.Errorf("malformed header should yield a fresh root, got parent %q", sp.ParentSpanID)
+			}
+		}
+	}
+	if !found {
+		t.Error("response traceparent does not match any recorded serve/request span")
+	}
+
+	telemetry.Disable()
+	resp = postForecastWithHeader(t, ts.URL, randomWindow(rng.New(23)), "")
+	if got := resp.Header.Get(telemetry.TraceparentHeader); got != "" {
+		t.Fatalf("telemetry off but response carries traceparent %q", got)
+	}
+}
+
+// TestPerEndpointCounters: each API endpoint owns a request counter on
+// /metrics, split out from the aggregate serve/requests_total.
+func TestPerEndpointCounters(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.Enable(reg)
+	defer telemetry.Disable()
+
+	f := trainForecaster(t)
+	m := trainGBR(t)
+	_, ts := newTestServer(t, Config{
+		Forecaster: f,
+		GBR:        m,
+		GBRMeta:    modelstore.Meta{FeatureNames: []string{"x", "y", "z"}},
+	})
+
+	postJSON(t, ts.URL+"/v1/forecast", forecastRequest{Window: randomWindow(rng.New(24))})
+	postJSON(t, ts.URL+"/v1/deviation", deviationRequest{Features: []float64{1, 2, 3}})
+	postJSON(t, ts.URL+"/v1/deviation", deviationRequest{Features: []float64{4, 5, 6}})
+	postJSON(t, ts.URL+"/v1/advisor/blame", blameRequest{RunningUsers: []string{"u1"}}) // 503: no advisor, still counted
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/spec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	c := reg.Snapshot().Counters
+	for name, want := range map[string]int64{
+		telemetry.MServeForecastReqs:  1,
+		telemetry.MServeDeviationReqs: 2,
+		telemetry.MServeBlameReqs:     1,
+		telemetry.MServeSpecReqs:      3,
+		telemetry.MServeRequests:      4, // spec bypasses the admission pipeline
+	} {
+		if c[name] != want {
+			t.Errorf("%s = %d, want %d", name, c[name], want)
+		}
+	}
+}
+
+// postForecastWithHeader posts a forecast request with an optional
+// traceparent header and returns the response (body drained and closed).
+func postForecastWithHeader(t *testing.T, base string, win [][]float64, traceparent string) *http.Response {
+	t.Helper()
+	resp, body := postJSONHeader(t, base+"/v1/forecast", forecastRequest{Window: win}, traceparent)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast: HTTP %d: %s", resp.StatusCode, body)
+	}
+	return resp
+}

@@ -76,9 +76,14 @@ const (
 	MServeRequests      = "serve/requests_total"    // counter: API requests admitted past the limiter
 	MServeErrors        = "serve/errors_total"      // counter: 4xx/5xx API responses (bad payloads, internal errors)
 	MServeShed          = "serve/shed_total"        // counter: requests shed with 429 (queue full) or 503 (draining)
+	MServeForecastReqs  = "serve/forecast_requests_total"  // counter: /v1/forecast requests admitted
+	MServeDeviationReqs = "serve/deviation_requests_total" // counter: /v1/deviation requests admitted
+	MServeBlameReqs     = "serve/blame_requests_total"     // counter: /v1/advisor/blame requests admitted
+	MServeSpecReqs      = "serve/spec_requests_total"      // counter: /v1/spec requests served
 	MServeForecastSecs  = "serve/forecast_seconds"  // histogram: /v1/forecast end-to-end latency
 	MServeDeviationSecs = "serve/deviation_seconds" // histogram: /v1/deviation end-to-end latency
 	MServeBlameSecs     = "serve/blame_seconds"     // histogram: /v1/advisor/blame end-to-end latency
+	MServeSpecSecs      = "serve/spec_seconds"      // histogram: /v1/spec end-to-end latency
 	MServeQueueDepth    = "serve/queue_depth"       // histogram: waiting requests sampled at each admission
 	GServeInflight      = "serve/inflight"          // gauge: requests currently holding an execution slot
 	GServeDraining      = "serve/draining"          // gauge: 1 while graceful drain is in progress
@@ -131,6 +136,26 @@ const (
 	SpanMLForecastLong   = "ml/forecast_longrun" // long-run segment forecasting
 	SpanLDMSRecord       = "ldms/record"         // system-wide counter recording
 	SpanReportPrefix     = "report/"             // + artifact name (report/fig9, report/table1, …)
+
+	// internal/dist — cross-process campaign spans. The coordinator opens
+	// one dist/unit span per lease (attrs: unit, round, worker, attempt;
+	// outcome on close); the worker roots its session span under the
+	// campaign trace and parents each unit execution to the coordinator's
+	// lease span via the traceparent handed back in the lease response.
+	SpanDistUnit      = "dist/unit"      // coordinator: one lease lifetime (grant → result/requeue)
+	SpanDistWorker    = "dist/worker"    // worker: one join→drain session, child of the campaign span
+	SpanDistUnitExec  = "dist/unit_exec" // worker: one leased unit execution, child of dist/unit
+	SpanDistSimulate  = "dist/simulate"  // worker: the simulation itself (compute)
+	SpanDistDeliver   = "dist/deliver"   // worker: result delivery RPC including retries (network)
+	SpanDistRPCPrefix = "dist/rpc/"      // coordinator: + endpoint (dist/rpc/lease, dist/rpc/result); only for requests carrying a traceparent
+
+	// internal/serve — per-request spans in the forecast daemon. Each
+	// request gets a root span (or joins the client's trace when the
+	// request carries a traceparent header); the span context is returned
+	// in the response's traceparent header for client correlation.
+	SpanServeRequest = "serve/request" // one API request, admission → response (attrs: endpoint, outcome)
+	SpanServeAdmit   = "serve/admit"   // child: admission queue wait
+	SpanServePredict = "serve/predict" // child: batched model call on a forecast cache miss
 )
 
 // AllMetricNames lists every metric name the repository emits; the doc-lint
@@ -146,7 +171,8 @@ var AllMetricNames = []string{
 	MCacheHits, MCacheMisses, MCacheReadBytes, MCacheWriteBytes, MCacheLoadSecs, MCacheSaveSecs,
 	MGBRFits, MGBRFitSecs, MNNFits, MNNFitSecs, MRFEFolds, MRFERounds,
 	MServeRequests, MServeErrors, MServeShed,
-	MServeForecastSecs, MServeDeviationSecs, MServeBlameSecs, MServeQueueDepth,
+	MServeForecastReqs, MServeDeviationReqs, MServeBlameReqs, MServeSpecReqs,
+	MServeForecastSecs, MServeDeviationSecs, MServeBlameSecs, MServeSpecSecs, MServeQueueDepth,
 	GServeInflight, GServeDraining,
 	MServeCacheHits, MServeCacheMisses, MServeBatches, MServeBatchSize,
 	MDistLeasesGranted, MDistLeaseExpired, MDistLeaseRedispatch,
@@ -161,4 +187,6 @@ var AllSpanNames = []string{
 	SpanCampaign, SpanCampaignSchedule, SpanCampaignRound,
 	SpanMLForecast, SpanMLDeviation, SpanMLImportances, SpanMLForecastLong,
 	SpanLDMSRecord, SpanReportPrefix,
+	SpanDistUnit, SpanDistWorker, SpanDistUnitExec, SpanDistSimulate, SpanDistDeliver, SpanDistRPCPrefix,
+	SpanServeRequest, SpanServeAdmit, SpanServePredict,
 }

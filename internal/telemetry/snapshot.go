@@ -74,7 +74,10 @@ type Snapshot struct {
 	// CapturedAt is the wall-clock capture time (RFC 3339).
 	CapturedAt time.Time `json:"captured_at"`
 	// UptimeS is seconds from registry creation to capture.
-	UptimeS    float64                      `json:"uptime_s"`
+	UptimeS float64 `json:"uptime_s"`
+	// Process identifies the emitting process so snapshots and trace files
+	// from several processes merge unambiguously.
+	Process    ProcessInfo                  `json:"process"`
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
@@ -98,6 +101,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	s.UptimeS = time.Since(r.start).Seconds()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	s.Process = r.proc
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}

@@ -43,6 +43,7 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -187,6 +188,19 @@ var (
 	CountBuckets = []float64{1, 3, 10, 30, 100, 300, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6}
 )
 
+// ProcessInfo identifies the process a snapshot or trace file came from,
+// so files from several processes merge unambiguously in `dfvar trace`.
+type ProcessInfo struct {
+	PID      int    `json:"pid"`
+	Hostname string `json:"hostname"`
+	// Role names what the process was doing: "coordinator", "worker",
+	// "dfserved", or the tool name. Set via SetRole.
+	Role string `json:"role,omitempty"`
+	// StartedAt is the registry's wall-clock creation time; span offsets
+	// are relative to it.
+	StartedAt time.Time `json:"started_at"`
+}
+
 // Registry holds a process's metrics and completed spans. All methods are
 // safe for concurrent use; metric updates after registration are lock-free.
 // A nil *Registry hands out nil (no-op) handles, so callers never branch.
@@ -194,6 +208,7 @@ type Registry struct {
 	start time.Time
 
 	mu       sync.Mutex
+	proc     ProcessInfo
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -201,15 +216,43 @@ type Registry struct {
 	spanSeq  int64
 }
 
-// New creates an empty registry.
+// New creates an empty registry stamped with the process's identity.
 func New() *Registry {
+	start := time.Now()
+	host, _ := os.Hostname()
 	return &Registry{
-		start:    time.Now(),
+		start:    start,
+		proc:     ProcessInfo{PID: os.Getpid(), Hostname: host, StartedAt: start},
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
+
+// SetRole records the process role ("coordinator", "worker", …) on the
+// registry's process identity. No-op on a nil registry.
+func (r *Registry) SetRole(role string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.proc.Role = role
+	r.mu.Unlock()
+}
+
+// Process returns the registry's process identity (zero value on nil).
+func (r *Registry) Process() ProcessInfo {
+	if r == nil {
+		return ProcessInfo{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.proc
+}
+
+// SetRole records the process role on the active registry (no-op when
+// telemetry is disabled). Call it right after Enable.
+func SetRole(role string) { Active().SetRole(role) }
 
 // Counter returns the named counter, creating it on first use. Returns a
 // nil (no-op) handle on a nil registry.

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Distributed-tracing identity. Every span carries a 128-bit trace ID
+// (shared by every span of one logical operation, across processes) and a
+// 64-bit span ID, linked to its parent span ID. IDs are generated from a
+// process-local atomic counter mixed through splitmix64 with one-shot
+// entropy drawn at init — crypto/rand plus pid and wall clock — so ID
+// generation never touches a seeded simulation RNG stream and two processes
+// starting in the same nanosecond still diverge. Tracing therefore upholds
+// the observation-only contract: IDs are metadata about execution, never
+// inputs to it.
+
+// TraceID is a 128-bit trace identifier, rendered as 32 lowercase hex
+// digits. The zero value means "no trace".
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier, rendered as 16 lowercase hex digits.
+// The zero value means "no span".
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the span ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the span ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idState seeds the splitmix64 ID generator once per process.
+var idState struct {
+	seed    uint64
+	counter atomic.Uint64
+}
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idState.seed = binary.LittleEndian.Uint64(b[:])
+	}
+	// fold in pid and wall clock so even a broken entropy source cannot
+	// make two concurrently launched processes collide
+	idState.seed ^= uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix, so distinct counter values always map to distinct IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextID returns the next 64-bit identifier. Safe for concurrent use; never
+// returns zero (zero is the "unset" sentinel in the wire format).
+func nextID() uint64 {
+	for {
+		n := idState.counter.Add(1)
+		if v := splitmix64(idState.seed + n); v != 0 {
+			return v
+		}
+	}
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// SpanContext is the cross-process identity of a span: enough to parent a
+// remote child to it.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// TraceparentHeader is the HTTP header used to propagate span context,
+// following the W3C Trace Context wire format.
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders the span context in the W3C traceparent layout:
+// version 00, 32 hex trace digits, 16 hex span digits, flags 01 (sampled).
+func FormatTraceparent(sc SpanContext) string {
+	return fmt.Sprintf("00-%s-%s-01", sc.Trace, sc.Span)
+}
+
+// ParseTraceparent parses a W3C-style traceparent value. It accepts any
+// 2-hex version except the reserved "ff", ignores the flags octet, and
+// rejects malformed or all-zero IDs — callers fall back to a fresh root.
+func ParseTraceparent(v string) (SpanContext, error) {
+	var sc SpanContext
+	if len(v) < 55 {
+		return sc, fmt.Errorf("traceparent: %q too short", v)
+	}
+	if v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return sc, fmt.Errorf("traceparent: %q malformed", v)
+	}
+	if len(v) > 55 && v[55] != '-' {
+		// version 00 has exactly four fields; future versions may append
+		// more, but only after another dash
+		return sc, fmt.Errorf("traceparent: %q malformed", v)
+	}
+	ver := v[:2]
+	if _, err := hex.DecodeString(ver); err != nil || ver == "ff" {
+		return sc, fmt.Errorf("traceparent: bad version %q", ver)
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(v[3:35])); err != nil {
+		return sc, fmt.Errorf("traceparent: bad trace id in %q", v)
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(v[36:52])); err != nil {
+		return sc, fmt.Errorf("traceparent: bad span id in %q", v)
+	}
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("traceparent: all-zero id in %q", v)
+	}
+	return sc, nil
+}
+
+// remoteCtxKey carries a remote parent SpanContext in a context.Context.
+type remoteCtxKey struct{}
+
+// ContextWithRemote returns a context carrying sc as the remote parent: the
+// next span started from it joins sc's trace as a child of sc.Span. An
+// invalid sc returns ctx unchanged (the next span is a fresh root).
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// SpanContextFromContext returns the cross-process identity carried by ctx:
+// the in-flight span's, or failing that a remote parent installed by
+// ContextWithRemote. ok is false when ctx carries neither (e.g. telemetry
+// disabled and no inbound header).
+func SpanContextFromContext(ctx context.Context) (SpanContext, bool) {
+	if sp := FromContext(ctx); sp != nil && sp.sc.Valid() {
+		return sp.sc, true
+	}
+	if sc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok && sc.Valid() {
+		return sc, true
+	}
+	return SpanContext{}, false
+}
+
+// WithSpanFrom returns dst carrying whatever span identity src carries —
+// used to graft trace parentage onto a fresh cancellation context (a result
+// delivery on its own timeout, say) without inheriting src's deadline.
+func WithSpanFrom(dst, src context.Context) context.Context {
+	if sp := FromContext(src); sp != nil {
+		return context.WithValue(dst, spanCtxKey{}, sp)
+	}
+	if sc, ok := src.Value(remoteCtxKey{}).(SpanContext); ok && sc.Valid() {
+		return context.WithValue(dst, remoteCtxKey{}, sc)
+	}
+	return dst
+}
+
+// InjectTraceparent stamps ctx's span context onto h as a traceparent
+// header. No-op when ctx carries no span identity.
+func InjectTraceparent(ctx context.Context, h http.Header) {
+	if sc, ok := SpanContextFromContext(ctx); ok {
+		h.Set(TraceparentHeader, FormatTraceparent(sc))
+	}
+}
+
+// ExtractTraceparent returns ctx extended with the remote parent carried by
+// h's traceparent header. A missing or malformed header returns ctx
+// unchanged, so the next span started from it is a fresh root — the
+// required fallback for clients that don't speak the protocol.
+func ExtractTraceparent(ctx context.Context, h http.Header) context.Context {
+	sc, err := ParseTraceparent(h.Get(TraceparentHeader))
+	if err != nil {
+		return ctx
+	}
+	return ContextWithRemote(ctx, sc)
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Trace export. The -trace FILE flag on every CLI writes two artifacts from
+// one snapshot: FILE, a JSONL span stream (one process line followed by one
+// line per completed span, timestamps as absolute unix nanoseconds so files
+// from different processes on one host align on a shared clock), and
+// FILE.chrome.json, the same spans in Chrome trace-event format, loadable
+// directly in chrome://tracing or Perfetto. The JSONL stream is what `dfvar
+// trace` stitches; the Chrome file is for eyeballs.
+
+// TraceEventsSuffix is appended to the -trace path for the Chrome
+// trace-event rendering of the same spans.
+const TraceEventsSuffix = ".chrome.json"
+
+// traceLine is one line of the JSONL span stream. Type is "process" for
+// the header line and "span" for every following line.
+type traceLine struct {
+	Type string `json:"type"`
+
+	// process line
+	PID         int    `json:"pid,omitempty"`
+	Hostname    string `json:"hostname,omitempty"`
+	Role        string `json:"role,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	StartUnixNs int64  `json:"start_unix_ns,omitempty"`
+
+	// span lines
+	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Name         string            `json:"name,omitempty"`
+	Path         string            `json:"path,omitempty"`
+	DurNs        int64             `json:"dur_ns,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteSpanJSONL writes the snapshot's spans as a JSONL stream: first a
+// process-identity line, then one line per span in start order.
+func (s *Snapshot) WriteSpanJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	base := s.Process.StartedAt.UnixNano()
+	head := traceLine{
+		Type:        "process",
+		PID:         s.Process.PID,
+		Hostname:    s.Process.Hostname,
+		Role:        s.Process.Role,
+		StartedAt:   s.Process.StartedAt.Format(time.RFC3339Nano),
+		StartUnixNs: base,
+	}
+	if err := enc.Encode(head); err != nil {
+		return err
+	}
+	for _, sp := range s.Spans {
+		line := traceLine{
+			Type:         "span",
+			TraceID:      sp.TraceID,
+			SpanID:       sp.SpanID,
+			ParentSpanID: sp.ParentSpanID,
+			Name:         sp.Name,
+			Path:         sp.Path,
+			StartUnixNs:  base + int64(sp.StartS*1e9),
+			DurNs:        int64(sp.DurS * 1e9),
+			Attrs:        sp.Attrs,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEvent is one Chrome trace-event. Complete ("X") events carry ts+dur
+// in microseconds; metadata ("M") events name the process.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceEventFile is the Chrome trace-event JSON object format.
+type traceEventFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// chromeEvents renders the snapshot's spans as trace events. Timestamps are
+// absolute unix microseconds, so events from several processes land on one
+// shared timeline when merged. Each local root span gets its own lane
+// (tid), and descendants share their root's lane, which keeps concurrent
+// units visually separate.
+func (s *Snapshot) chromeEvents() []traceEvent {
+	procName := s.Process.Role
+	if procName == "" {
+		procName = "process"
+	}
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", PID: s.Process.PID,
+		Args: map[string]any{"name": fmt.Sprintf("%s (%s, pid %d)", procName, s.Process.Hostname, s.Process.PID)},
+	}}
+	// resolve each span's lane: the local ID of its root ancestor
+	parentOf := make(map[int64]int64, len(s.Spans))
+	for _, sp := range s.Spans {
+		parentOf[sp.ID] = sp.Parent
+	}
+	lane := func(id int64) int64 {
+		for {
+			p := parentOf[id]
+			if p == 0 {
+				return id
+			}
+			id = p
+		}
+	}
+	base := float64(s.Process.StartedAt.UnixNano()) / 1e3
+	for _, sp := range s.Spans {
+		args := map[string]any{
+			"trace_id": sp.TraceID,
+			"span_id":  sp.SpanID,
+		}
+		if sp.ParentSpanID != "" {
+			args["parent_span_id"] = sp.ParentSpanID
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		events = append(events, traceEvent{
+			Name: sp.Name, Ph: "X", Cat: "span",
+			PID: s.Process.PID, TID: lane(sp.ID),
+			Ts: base + sp.StartS*1e6, Dur: sp.DurS * 1e6,
+			Args: args,
+		})
+	}
+	return events
+}
+
+// WriteTraceEvents writes the snapshot's spans as a Chrome trace-event JSON
+// object ({"traceEvents": […]}), loadable in chrome://tracing or Perfetto.
+func (s *Snapshot) WriteTraceEvents(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceEventFile{TraceEvents: s.chromeEvents(), DisplayTimeUnit: "ms"})
+}
+
+// writeFileWith creates path and runs fn over it, closing carefully.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// FlushTrace snapshots the active registry and writes its span stream to
+// path (JSONL) and path+TraceEventsSuffix (Chrome trace events). Like
+// Flush it is a no-op when telemetry is disabled or path is empty, so CLIs
+// call it unconditionally on exit.
+func FlushTrace(path string) error {
+	r := Active()
+	if r == nil || path == "" {
+		return nil
+	}
+	snap := r.Snapshot()
+	if err := writeFileWith(path, snap.WriteSpanJSONL); err != nil {
+		return err
+	}
+	if err := writeFileWith(path+TraceEventsSuffix, snap.WriteTraceEvents); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s (+%s)\n",
+		len(snap.Spans), path, TraceEventsSuffix)
+	return nil
+}

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Serving benchmark: train (or load) a small model set, start dfserved,
-# drive it with the built-in load generator at a target request rate,
-# then drain the daemon with SIGTERM and require a clean exit. Writes
-# BENCH_serve.json (latency histogram + throughput) in the repo root.
+# drive it with the built-in load generator at a target request rate —
+# once with the default reused-window pool (mostly cache hits, the LRU
+# path) and once with -distinct (every window unique, the uncached model
+# path) — then drain the daemon with SIGTERM and require a clean exit.
+# Writes BENCH_serve.json in the repo root with both rows:
+#   {"cached": {...}, "uncached": {...}}
 #
 # Tunables: RPS (default 500), DURATION (default 10s), ADDR, WORKDIR.
 set -eu
@@ -42,9 +45,13 @@ if [ "$ready" != 1 ]; then
     exit 1
 fi
 
-echo "bench-serve: driving $RPS rps for $DURATION..." >&2
+echo "bench-serve: driving $RPS rps for $DURATION (cached: reused window pool)..." >&2
 "$WORKDIR/dfserved" -loadgen -target "http://$ADDR" \
-    -rps "$RPS" -duration "$DURATION" -out "$OUT"
+    -rps "$RPS" -duration "$DURATION" -out "$WORKDIR/bench_cached.json"
+
+echo "bench-serve: driving $RPS rps for $DURATION (uncached: -distinct windows)..." >&2
+"$WORKDIR/dfserved" -loadgen -distinct -target "http://$ADDR" \
+    -rps "$RPS" -duration "$DURATION" -out "$WORKDIR/bench_uncached.json"
 
 echo "bench-serve: draining daemon with SIGTERM..." >&2
 kill -TERM "$PID"
@@ -56,4 +63,13 @@ else
     exit 1
 fi
 
-echo "bench-serve: wrote $OUT" >&2
+# compose both rows into one ledger without requiring jq
+{
+    printf '{\n  "cached": '
+    cat "$WORKDIR/bench_cached.json"
+    printf ',\n  "uncached": '
+    cat "$WORKDIR/bench_uncached.json"
+    printf '}\n'
+} >"$OUT"
+
+echo "bench-serve: wrote $OUT (cached + uncached rows)" >&2
