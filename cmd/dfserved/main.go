@@ -11,6 +11,9 @@
 //	    Train-or-load models and serve /v1/forecast, /v1/deviation,
 //	    /v1/advisor/blame, /v1/spec, /healthz, /readyz, /metrics.
 //	    SIGINT/SIGTERM drains in-flight requests and exits 0.
+//	    -reload-interval polls the store refs and hot-swaps the served
+//	    models when a publisher (dfvard) advances them; SIGHUP forces
+//	    one poll immediately.
 //
 //	dfserved -loadgen [-target URL] [-rps N] [-duration D] [-distinct] [-out FILE]
 //	    Drive a running daemon at a target request rate and write a
@@ -31,10 +34,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dragonvar/internal/advisor"
@@ -69,19 +74,20 @@ type options struct {
 	list    bool
 
 	// serving
-	addr        string
-	store       string
-	dataset     string
-	m, k        int
-	features    string
-	retrain     bool
-	maxInflight int
-	maxQueue    int
-	maxBatch    int
-	batchWindow time.Duration
-	cacheSize   int
-	telemetry   string
-	trace       string
+	addr           string
+	store          string
+	dataset        string
+	m, k           int
+	features       string
+	retrain        bool
+	maxInflight    int
+	maxQueue       int
+	maxBatch       int
+	batchWindow    time.Duration
+	cacheSize      int
+	reloadInterval time.Duration
+	telemetry      string
+	trace          string
 
 	// campaign (same semantics as dfvar)
 	cache  string
@@ -119,6 +125,8 @@ func run(args []string) error {
 	fs.IntVar(&o.maxBatch, "max-batch", 0, "forecast requests coalesced per model call (0 = default)")
 	fs.DurationVar(&o.batchWindow, "batch-window", 0, "batch collection window (0 = default)")
 	fs.IntVar(&o.cacheSize, "cache-size", 0, "prediction cache entries (0 = default)")
+	fs.DurationVar(&o.reloadInterval, "reload-interval", 0,
+		"poll the model store refs this often and hot-swap the served models when one advances (0 = poll only on SIGHUP)")
 	fs.StringVar(&o.telemetry, "telemetry", "", "write a telemetry snapshot to this JSON file on exit")
 	fs.StringVar(&o.trace, "trace", "",
 		`write the span stream (per-request serve/request spans) to this JSONL file on exit (stitch with "dfvar trace")`)
@@ -355,6 +363,87 @@ func provision(ctx context.Context, o options, st *modelstore.Store) (serve.Conf
 	return cfg, nil
 }
 
+// startReloader watches the model store refs and hot-swaps the served
+// models when any of them advances — on every -reload-interval tick, and
+// on SIGHUP regardless of the interval. This is how a replica picks up
+// dfvard's retrains without a restart. The returned stop function is
+// idempotent to call once and blocks until the watcher goroutine exits.
+func startReloader(ctx context.Context, o options, st *modelstore.Store, srv *serve.Server, fRef, dRef, aRef string) func() {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		var tick <-chan time.Time
+		if o.reloadInterval > 0 {
+			t := time.NewTicker(o.reloadInterval)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick:
+			case <-hup:
+			}
+			if err := maybeReload(st, srv, fRef, dRef, aRef); err != nil {
+				fmt.Fprintf(os.Stderr, "dfserved: reload: %v\n", err)
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(hup)
+		close(done)
+		<-stopped
+	}
+}
+
+// maybeReload compares the store's current ref ids against the served
+// ones and atomically swaps in a freshly loaded model set when any ref
+// advanced. A publish landing mid-load just means the next poll swaps
+// again — each swap is internally consistent.
+func maybeReload(st *modelstore.Store, srv *serve.Server, fRef, dRef, aRef string) error {
+	curF, curD, curA := srv.ModelIDs()
+	newF, _, err := st.Resolve(fRef)
+	if err != nil {
+		return err
+	}
+	newD, _, err := st.Resolve(dRef)
+	if err != nil {
+		return err
+	}
+	newA, _, err := st.Resolve(aRef)
+	if err != nil {
+		return err
+	}
+	if newF == curF && newD == curD && newA == curA {
+		return nil
+	}
+	var m serve.Models
+	if m.Forecaster, m.ForecastMeta, err = st.GetForecaster(fRef); err != nil {
+		return err
+	}
+	m.ForecastID = newF
+	if m.GBR, m.GBRMeta, err = st.GetGBR(dRef); err != nil {
+		return err
+	}
+	m.GBRID = newD
+	if m.Adv, _, err = st.GetAdvisor(aRef); err != nil {
+		return err
+	}
+	m.AdvisorID = newA
+	if err := srv.Swap(m); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dfserved: reloaded models (forecast %.12s deviation %.12s advisor %.12s)\n",
+		newF, newD, newA)
+	return nil
+}
+
 func runServe(o options) error {
 	// the daemon is always instrumented: /metrics is part of its API
 	reg := telemetry.New()
@@ -381,6 +470,14 @@ func runServe(o options) error {
 	}
 	srv := serve.New(cfg)
 	defer srv.Drain()
+
+	spec := core.ForecastSpec{M: o.m, K: o.k}
+	if spec.Features, err = parseFeatures(o.features); err != nil {
+		return err
+	}
+	fRef, dRef, aRef := refNames(o, spec)
+	stopReload := startReloader(ctx, o, st, srv, fRef, dRef, aRef)
+	defer stopReload()
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

@@ -1,0 +1,295 @@
+// Command dfvard is the continuous-operation campaign daemon: it drives
+// an endless seeded workload (faults included) through the campaign
+// engine, streams every completed run into an append-only windowed
+// dataset, retrains the forecaster/deviation/advisor models on a sealed-
+// window schedule (or early, on forecast drift), and publishes each
+// retrain to a modelstore so live dfserved replicas hot-reload it.
+//
+// Usage:
+//
+//	dfvard [-state DIR] [-store DIR] [-seed S] [-small] [-fast]
+//	       [-days N] [-faults SPEC] [-routing POLICY] [-placement POLICY]
+//	       [-window-runs N] [-window-span SECS]
+//	       [-retrain-windows N] [-drift-factor F] [-drift-windows N]
+//	       [-max-epochs N] [-dataset NAME] [-m N] [-k N] [-features LIST]
+//	       [-monitor FILE|-] [-monitor-max-bytes N] [-monitor-max-age D]
+//	       [-telemetry FILE] [-trace FILE] [-pprof ADDR] [-workers N]
+//
+// All state lives under -state: the run stream (WAL + sealed segments),
+// the progress checkpoint, and the publish log. The daemon may be killed
+// at any instant — even SIGKILL — and restarted with the same flags; it
+// resumes from its checkpoint and produces byte-identical output to a
+// never-interrupted run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dragonvar/internal/cluster"
+	"dragonvar/internal/counters"
+	"dragonvar/internal/daemon"
+	"dragonvar/internal/modelstore"
+	"dragonvar/internal/monitor"
+	"dragonvar/internal/sigctx"
+	"dragonvar/internal/telemetry"
+	"dragonvar/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "dfvard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	state string
+	store string
+
+	seed      int64
+	small     bool
+	fast      bool
+	days      float64
+	faults    string
+	routing   string
+	placement string
+	workers   int
+
+	windowRuns int
+	windowSpan float64
+
+	retrainWindows int
+	driftFactor    float64
+	driftWindows   int
+	maxEpochs      int
+
+	dataset  string
+	m, k     int
+	features string
+
+	monitor         string
+	monitorMaxBytes int64
+	monitorMaxAge   time.Duration
+
+	telemetry string
+	trace     string
+	pprof     string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dfvard", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.state, "state", "dfvard-state", "state directory (stream, checkpoint, publish log)")
+	fs.StringVar(&o.store, "store", "models", "model store directory to publish retrained models into")
+
+	fs.Int64Var(&o.seed, "seed", 42, "root seed; the endless workload is a pure function of it")
+	fs.BoolVar(&o.small, "small", false, "use the small test machine instead of the Cori-scale one")
+	fs.BoolVar(&o.fast, "fast", false, "reduced training knobs (fewer epochs, smaller sample caps)")
+	fs.Float64Var(&o.days, "days", 7, "simulated days per campaign epoch")
+	fs.StringVar(&o.faults, "faults", "", `fault spec for every epoch ("links=3,dropouts=2", ...)`)
+	fs.StringVar(&o.routing, "routing", "", "routing policy name (default: the engine default; $"+cluster.EnvRouting+" overrides)")
+	fs.StringVar(&o.placement, "placement", "", "placement policy name (default firstfit; $"+cluster.EnvPlacement+" overrides)")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent runs per epoch (0 = automatic)")
+
+	fs.IntVar(&o.windowRuns, "window-runs", 16, "runs per ingest window (a window seals at this count)")
+	fs.Float64Var(&o.windowSpan, "window-span", 0, "max campaign-clock seconds per window (0 = unbounded)")
+
+	fs.IntVar(&o.retrainWindows, "retrain-windows", 4, "retrain every N sealed windows")
+	fs.Float64Var(&o.driftFactor, "drift-factor", 1.5, "early retrain when live MAPE exceeds this factor of the training MAPE (<=0 disables)")
+	fs.IntVar(&o.driftWindows, "drift-windows", 3, "rolling window (in sealed segments) of the live-MAPE mean")
+	fs.IntVar(&o.maxEpochs, "max-epochs", 0, "stop after N epochs (0 = run until signalled)")
+
+	fs.StringVar(&o.dataset, "dataset", "AMG-128", "dataset whose forecaster is served")
+	fs.IntVar(&o.m, "m", 5, "forecast window length (steps)")
+	fs.IntVar(&o.k, "k", 2, "forecast horizon (steps)")
+	fs.StringVar(&o.features, "features", "", `extra forecast feature groups: "placement,io,sys" (app counters always included)`)
+
+	fs.StringVar(&o.monitor, "monitor", "", `stream network-weather + drift events to this JSONL file ("-" = stderr), with rotation`)
+	fs.Int64Var(&o.monitorMaxBytes, "monitor-max-bytes", 64<<20, "rotate the event stream past this size (0 = never)")
+	fs.DurationVar(&o.monitorMaxAge, "monitor-max-age", 0, "rotate the event stream past this age (0 = never)")
+
+	fs.StringVar(&o.telemetry, "telemetry", "", "write a metrics snapshot to this file on exit")
+	fs.StringVar(&o.trace, "trace", "", "write collected trace spans to this file on exit")
+	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Policy env defaults, resolved here like every other CLI.
+	if o.routing == "" {
+		o.routing = os.Getenv(cluster.EnvRouting)
+	}
+	if o.placement == "" {
+		o.placement = os.Getenv(cluster.EnvPlacement)
+	}
+
+	// The daemon is always instrumented: its counters are how the smoke
+	// test (and an operator) sees retrains and drift happen.
+	reg := telemetry.New()
+	reg.SetRole("dfvard")
+	telemetry.Enable(reg)
+	defer func() {
+		if err := telemetry.Flush(o.telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "dfvard: %v\n", err)
+		}
+		if err := telemetry.FlushTrace(o.trace); err != nil {
+			fmt.Fprintf(os.Stderr, "dfvard: %v\n", err)
+		}
+	}()
+	if o.pprof != "" {
+		go func() {
+			if err := telemetry.ServePprof(o.pprof); err != nil {
+				fmt.Fprintf(os.Stderr, "dfvard: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	ctx, stop := sigctx.WithShutdown(context.Background())
+	defer stop()
+
+	st, err := modelstore.Open(o.store)
+	if err != nil {
+		return err
+	}
+
+	cfg := daemon.Config{
+		StateDir:     o.state,
+		Store:        st,
+		Seed:         o.seed,
+		Routing:      o.routing,
+		Placement:    o.placement,
+		FaultSpec:    o.faults,
+		EpochDays:    o.days,
+		WindowRuns:   o.windowRuns,
+		WindowSpan:   o.windowSpan,
+		RetrainEvery: o.retrainWindows,
+		DriftFactor:  o.driftFactor,
+		DriftWindow:  o.driftWindows,
+		Dataset:      o.dataset,
+		M:            o.m,
+		K:            o.k,
+		Fast:         o.fast,
+		MaxEpochs:    o.maxEpochs,
+		Workers:      o.workers,
+		Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, "dfvard: "+format+"\n", args...) },
+	}
+	if o.small {
+		cfg.Machine = topology.Small()
+	}
+	if cfg.Features, err = parseFeatures(o.features); err != nil {
+		return err
+	}
+
+	mon, finishMonitor, err := attachMonitor(o)
+	if err != nil {
+		return err
+	}
+	defer finishMonitor()
+	cfg.Monitor = mon
+
+	d, err := daemon.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	fmt.Fprintf(os.Stderr, "dfvard: state=%s store=%s seed=%d (%g days/epoch, retrain every %d windows of %d runs)\n",
+		o.state, o.store, o.seed, o.days, o.retrainWindows, o.windowRuns)
+
+	err = d.Run(ctx)
+	epoch, sealed, retrains, drift := d.Progress()
+	fmt.Fprintf(os.Stderr, "dfvard: %d epochs, %d windows sealed, %d retrains (%d drift-triggered)\n",
+		epoch, sealed, retrains, drift)
+	if err != nil && errors.Is(err, context.Canceled) {
+		// A signal is the normal way to stop a daemon; all state is
+		// checkpointed, so the next start continues exactly here.
+		fmt.Fprintln(os.Stderr, "dfvard: checkpointed, bye")
+		return nil
+	}
+	return err
+}
+
+// attachMonitor builds the live monitor when -monitor was given: network
+// weather plus the daemon's drift events, written as JSONL through a
+// size/age-rotated file ("-" streams to stderr, unrotated).
+func attachMonitor(o options) (*monitor.Monitor, func(), error) {
+	if o.monitor == "" {
+		return nil, func() {}, nil
+	}
+	var events io.Writer
+	var closer io.Closer
+	if o.monitor == "-" {
+		events = os.Stderr
+	} else {
+		w, err := monitor.NewRotatingWriter(o.monitor, o.monitorMaxBytes, o.monitorMaxAge)
+		if err != nil {
+			return nil, nil, err
+		}
+		events = w
+		closer = w
+	}
+	topo := topology.Cori()
+	if o.small {
+		topo = topology.Small()
+	}
+	// DetectTimeGaps stays off: parallel campaign rounds interleave runs
+	// out of time order, so only explicit missing markers count as gaps.
+	m, err := monitor.New(monitor.Config{
+		NumRouters:      topo.NumRouters(),
+		SeriesPerRouter: cluster.LDMSSeriesPerRouter,
+		RoutersPerGroup: topo.RoutersPerGroup(),
+		HeatmapBin:      3600,
+		Events:          events,
+		Source:          "dfvard",
+	})
+	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, nil, err
+	}
+	finish := func() {
+		if err := m.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "dfvard: monitor: %v\n", err)
+		}
+		if closer != nil {
+			if err := closer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dfvard: monitor: %v\n", err)
+			}
+		}
+	}
+	return m, finish, nil
+}
+
+// parseFeatures maps the -features flag onto a counters.FeatureSet, the
+// same grammar dfserved uses so the two daemons meet on the same refs.
+func parseFeatures(s string) (counters.FeatureSet, error) {
+	var f counters.FeatureSet
+	if s == "" {
+		return f, nil
+	}
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == '+' || r == ' ' }) {
+		switch tok {
+		case "app": // always on
+		case "placement":
+			f.Placement = true
+		case "io":
+			f.IO = true
+		case "sys":
+			f.Sys = true
+		default:
+			return f, fmt.Errorf("unknown feature group %q (want placement, io, sys)", tok)
+		}
+	}
+	return f, nil
+}

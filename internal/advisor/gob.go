@@ -3,8 +3,18 @@ package advisor
 import (
 	"bytes"
 	"encoding/gob"
+	"io"
 	"sort"
 )
+
+// Pin advisorWire's process-global gob id at init so serialized advisor
+// bytes don't depend on encode order within the process (gob wire ids
+// come from a global counter; see internal/dataset/gob_init.go).
+func init() {
+	if err := gob.NewEncoder(io.Discard).Encode(advisorWire{}); err != nil {
+		panic("advisor: gob warm-up: " + err.Error())
+	}
+}
 
 // advisorWire is the gob wire form of a trained advisor: the learned blame
 // list (sorted, so equal advisors encode to equal bytes) and the first

@@ -87,6 +87,15 @@ type Config struct {
 	// of different runs interleave out of time order — implementations
 	// must lock, and must not infer sampler gaps from timestamp jumps.
 	Monitor RoundObserver
+	// OnRunMerged, when non-nil, receives every completed run during the
+	// serial merge phase, in deterministic (round, plan) order, with
+	// RunID and Requeues already final — the streaming ingest feed of the
+	// retraining daemon (internal/daemon). Called from the single merge
+	// goroutine, never concurrently. Strictly observation-only like
+	// Monitor: the campaign result is byte-identical with or without the
+	// hook, and the *Run is the campaign's own object (treat as
+	// read-only).
+	OnRunMerged func(run *dataset.Run)
 }
 
 // RoundObserver is the live monitoring hook of a campaign. ObserveRound
@@ -531,6 +540,14 @@ func (c *Cluster) runCampaign(ctx context.Context, mkExec func(plans []*plan) Un
 			o := outs[k]
 			if o.Run != nil {
 				results[i] = o.Run
+				if cfg.OnRunMerged != nil {
+					// stamp the identity fields now (the fixup loop below
+					// re-derives the same values) so the hook observes the
+					// run exactly as the final campaign will carry it
+					o.Run.RunID = i
+					o.Run.Requeues = plans[i].requeues
+					cfg.OnRunMerged(o.Run)
+				}
 				continue
 			}
 			if roundErr != nil || !o.Drained {

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// probeStreamHash writes a small deterministic stream (two sealed
+// segments plus an open window) into dir and hashes every byte of it.
+func probeStreamHash(t *testing.T, dir string) string {
+	t.Helper()
+	w, err := OpenStream(dir, streamMetaForTest(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runSeq(10) {
+		if _, err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%s %d\n", rel, len(raw))
+		h.Write(raw)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestStreamBytesStableAcrossProcesses re-runs itself in a child process
+// that deliberately burns gob's process-global type-id counter on junk
+// types before touching the stream, then asserts the child still writes
+// byte-identical files. This is exactly the failure mode a resumed
+// daemon hits — it decodes a WAL (shifting the global counter) before it
+// encodes anything — and the init-time warm-up in gob_init.go is what
+// keeps the ids, and therefore the bytes, pinned.
+func TestStreamBytesStableAcrossProcesses(t *testing.T) {
+	if os.Getenv("DATASET_STREAM_BYTES_CHILD") == "1" {
+		enc := gob.NewEncoder(io.Discard)
+		for _, junk := range []any{
+			struct{ PerturbA int }{1},
+			struct{ PerturbB string }{"x"},
+			struct{ PerturbC []float64 }{},
+		} {
+			if err := enc.Encode(junk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fmt.Printf("CHILDHASH %s\n", probeStreamHash(t, t.TempDir()))
+		return
+	}
+
+	want := probeStreamHash(t, t.TempDir())
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe,
+		"-test.run", "TestStreamBytesStableAcrossProcesses$", "-test.v")
+	cmd.Env = append(os.Environ(), "DATASET_STREAM_BYTES_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process: %v\n%s", err, out)
+	}
+	var got string
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(line, "CHILDHASH "); ok {
+			got = strings.TrimSpace(rest)
+		}
+	}
+	if got == "" {
+		t.Fatalf("child printed no hash:\n%s", out)
+	}
+	if got != want {
+		t.Errorf("stream bytes diverged across processes: parent %s, perturbed child %s", want, got)
+	}
+}

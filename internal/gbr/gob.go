@@ -4,9 +4,19 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 
 	"dragonvar/internal/tree"
 )
+
+// Pin modelWire's process-global gob id at init so serialized ensemble
+// bytes don't depend on encode order within the process (gob wire ids
+// come from a global counter; see internal/dataset/gob_init.go).
+func init() {
+	if err := gob.NewEncoder(io.Discard).Encode(modelWire{}); err != nil {
+		panic("gbr: gob warm-up: " + err.Error())
+	}
+}
 
 // modelWire is the gob wire form of a fitted ensemble. Trees serialize
 // through their own GobEncode, so the round trip preserves every split

@@ -36,16 +36,29 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"dragonvar/internal/advisor"
 	"dragonvar/internal/gbr"
 	"dragonvar/internal/nn"
 )
+
+// Pin the envelope's process-global gob id at init so object bytes — and
+// therefore content ids — don't depend on what other gob work a process
+// did first. See internal/dataset/gob_init.go for the full rationale; the
+// model payloads inside envelopes pin their own wire types the same way.
+func init() {
+	if err := gob.NewEncoder(io.Discard).Encode(envelope{}); err != nil {
+		panic("modelstore: gob warm-up: " + err.Error())
+	}
+}
 
 // Format is the envelope schema version. Bump it when the envelope layout
 // changes; Get refuses envelopes from a different format with a clear
@@ -104,6 +117,30 @@ func (e *CorruptObjectError) Error() string {
 		msg += " (quarantined as .corrupt)"
 	}
 	return msg
+}
+
+// RefMovedError reports a compare-and-swap ref update that was refused
+// because the ref no longer points where the writer last read it: another
+// publisher advanced it in between. The caller decides whether to re-read
+// and retry or to surface the conflict.
+type RefMovedError struct {
+	Name   string // ref name
+	Expect string // id the writer believed current ("" = expected absent)
+	Found  string // id actually current ("" = ref absent)
+}
+
+func (e *RefMovedError) Error() string {
+	short := func(id string) string {
+		if id == "" {
+			return "<absent>"
+		}
+		if len(id) > 12 {
+			return id[:12]
+		}
+		return id
+	}
+	return fmt.Sprintf("modelstore: ref %s moved: expected %s, found %s (concurrent publish?)",
+		e.Name, short(e.Expect), short(e.Found))
 }
 
 // Store is a model store rooted at a directory.
@@ -180,9 +217,74 @@ func (s *Store) objectPath(id string) string {
 	return filepath.Join(s.root, "objects", id[:2], id+".gob")
 }
 
-// Put stores a model under name. The model must implement gob encoding
-// (all repository model types do); meta.Kind must be set. Returns the
-// content id (SHA-256 of the envelope bytes).
+// encodeObject builds the envelope for a model and returns its content id
+// and bytes without touching disk.
+func encodeObject(name string, meta Meta, model any) (string, []byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(model); err != nil {
+		return "", nil, fmt.Errorf("modelstore: encode %s: %w", name, err)
+	}
+	var blob bytes.Buffer
+	env := envelope{Format: Format, Meta: meta, Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&blob).Encode(env); err != nil {
+		return "", nil, fmt.Errorf("modelstore: encode envelope %s: %w", name, err)
+	}
+	sum := sha256.Sum256(blob.Bytes())
+	return hex.EncodeToString(sum[:]), blob.Bytes(), nil
+}
+
+// lockRef takes the per-ref advisory file lock (refs/<name>.lock created
+// O_EXCL) that serializes ref advances across processes. Returns the
+// unlock func. A holder that died without unlocking stalls writers for
+// the retry budget, then surfaces the stale lock path in the error.
+func (s *Store) lockRef(name string) (func(), error) {
+	lockPath := filepath.Join(s.root, "refs", name+".lock")
+	if err := os.MkdirAll(filepath.Dir(lockPath), 0o755); err != nil {
+		return nil, fmt.Errorf("modelstore: lock ref %s: %w", name, err)
+	}
+	for i := 0; i < 500; i++ {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lockPath) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("modelstore: lock ref %s: %w", name, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("modelstore: ref %s: lock held too long (stale %s from a dead writer? remove it)", name, lockPath)
+}
+
+// currentRefID returns the id a ref points at, "" when the ref does not
+// exist.
+func (s *Store) currentRefID(name string) (string, error) {
+	id, _, err := s.Resolve(name)
+	if err == nil {
+		return id, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	}
+	return "", err
+}
+
+func (s *Store) writeRef(name, id string, meta Meta) error {
+	rj, err := json.MarshalIndent(ref{ID: id, Meta: meta}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(s.root, "refs", name), append(rj, '\n')); err != nil {
+		return fmt.Errorf("modelstore: write ref %s: %w", name, err)
+	}
+	return nil
+}
+
+// Put stores a model under name, unconditionally repointing the ref (the
+// last writer wins). The model must implement gob encoding (all
+// repository model types do); meta.Kind must be set. Returns the content
+// id (SHA-256 of the envelope bytes). Concurrent publishers that must not
+// clobber each other should use PutCAS instead.
 func (s *Store) Put(name string, meta Meta, model any) (string, error) {
 	if !validName(name) {
 		return "", fmt.Errorf("modelstore: invalid ref name %q", name)
@@ -190,26 +292,64 @@ func (s *Store) Put(name string, meta Meta, model any) (string, error) {
 	if meta.Kind == "" {
 		return "", fmt.Errorf("modelstore: put %s: meta.Kind is empty", name)
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(model); err != nil {
-		return "", fmt.Errorf("modelstore: encode %s: %w", name, err)
-	}
-	var blob bytes.Buffer
-	env := envelope{Format: Format, Meta: meta, Payload: payload.Bytes()}
-	if err := gob.NewEncoder(&blob).Encode(env); err != nil {
-		return "", fmt.Errorf("modelstore: encode envelope %s: %w", name, err)
-	}
-	sum := sha256.Sum256(blob.Bytes())
-	id := hex.EncodeToString(sum[:])
-	if err := writeAtomic(s.objectPath(id), blob.Bytes()); err != nil {
-		return "", fmt.Errorf("modelstore: write object %s: %w", id[:12], err)
-	}
-	rj, err := json.MarshalIndent(ref{ID: id, Meta: meta}, "", "  ")
+	id, blob, err := encodeObject(name, meta, model)
 	if err != nil {
 		return "", err
 	}
-	if err := writeAtomic(filepath.Join(s.root, "refs", name), append(rj, '\n')); err != nil {
-		return "", fmt.Errorf("modelstore: write ref %s: %w", name, err)
+	if err := writeAtomic(s.objectPath(id), blob); err != nil {
+		return "", fmt.Errorf("modelstore: write object %s: %w", id[:12], err)
+	}
+	unlock, err := s.lockRef(name)
+	if err != nil {
+		return "", err
+	}
+	defer unlock()
+	if err := s.writeRef(name, id, meta); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// PutCAS stores a model under name with compare-and-swap ref semantics:
+// the ref advances only if it still points at expectID ("" = the ref must
+// not exist yet). When the ref moved underneath the writer the object is
+// still stored (content-addressed, harmless) but the ref is left alone
+// and a *RefMovedError is returned — so two publishers can never silently
+// clobber each other's advance. Advancing a ref to the id it already
+// holds succeeds regardless of expectID: the store is already in the
+// requested state (this is what makes a crashed publisher's retry
+// idempotent).
+func (s *Store) PutCAS(name string, meta Meta, model any, expectID string) (string, error) {
+	if !validName(name) {
+		return "", fmt.Errorf("modelstore: invalid ref name %q", name)
+	}
+	if meta.Kind == "" {
+		return "", fmt.Errorf("modelstore: put %s: meta.Kind is empty", name)
+	}
+	id, blob, err := encodeObject(name, meta, model)
+	if err != nil {
+		return "", err
+	}
+	if err := writeAtomic(s.objectPath(id), blob); err != nil {
+		return "", fmt.Errorf("modelstore: write object %s: %w", id[:12], err)
+	}
+	unlock, err := s.lockRef(name)
+	if err != nil {
+		return "", err
+	}
+	defer unlock()
+	current, err := s.currentRefID(name)
+	if err != nil {
+		return "", err
+	}
+	if current == id {
+		return id, nil
+	}
+	if current != expectID {
+		return "", &RefMovedError{Name: name, Expect: expectID, Found: current}
+	}
+	if err := s.writeRef(name, id, meta); err != nil {
+		return "", err
 	}
 	return id, nil
 }
@@ -280,6 +420,15 @@ func (s *Store) PutForecaster(name string, meta Meta, f *nn.Forecaster) (string,
 	return s.Put(name, meta, f)
 }
 
+// PutForecasterCAS is PutForecaster with PutCAS ref semantics.
+func (s *Store) PutForecasterCAS(name string, meta Meta, f *nn.Forecaster, expectID string) (string, error) {
+	meta.Kind = KindForecaster
+	if meta.M == 0 || meta.K == 0 {
+		return "", fmt.Errorf("modelstore: put %s: forecaster meta needs M and K", name)
+	}
+	return s.PutCAS(name, meta, f, expectID)
+}
+
 // GetForecaster loads a forecaster and validates its window shape against
 // the stored schema.
 func (s *Store) GetForecaster(name string) (*nn.Forecaster, Meta, error) {
@@ -307,6 +456,12 @@ func (s *Store) PutGBR(name string, meta Meta, m *gbr.Model) (string, error) {
 	return s.Put(name, meta, m)
 }
 
+// PutGBRCAS is PutGBR with PutCAS ref semantics.
+func (s *Store) PutGBRCAS(name string, meta Meta, m *gbr.Model, expectID string) (string, error) {
+	meta.Kind = KindGBR
+	return s.PutCAS(name, meta, m, expectID)
+}
+
 // GetGBR loads a boosted ensemble.
 func (s *Store) GetGBR(name string) (*gbr.Model, Meta, error) {
 	env, err := s.get(name, KindGBR)
@@ -327,6 +482,12 @@ func (s *Store) GetGBR(name string) (*gbr.Model, Meta, error) {
 func (s *Store) PutAdvisor(name string, meta Meta, a *advisor.Advisor) (string, error) {
 	meta.Kind = KindAdvisor
 	return s.Put(name, meta, a)
+}
+
+// PutAdvisorCAS is PutAdvisor with PutCAS ref semantics.
+func (s *Store) PutAdvisorCAS(name string, meta Meta, a *advisor.Advisor, expectID string) (string, error) {
+	meta.Kind = KindAdvisor
+	return s.PutCAS(name, meta, a, expectID)
 }
 
 // GetAdvisor loads an advisor.
@@ -362,6 +523,12 @@ func (s *Store) List() ([]Entry, error) {
 			return err
 		}
 		name = filepath.ToSlash(name)
+		// Skip transient writer droppings: per-ref CAS locks and the
+		// writeAtomic temp files a concurrent publisher may have in flight.
+		base := filepath.Base(path)
+		if strings.HasSuffix(base, ".lock") || strings.Contains(base, ".tmp-") {
+			return nil
+		}
 		id, meta, err := s.Resolve(name)
 		if err != nil {
 			return err

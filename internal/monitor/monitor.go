@@ -43,6 +43,7 @@ const (
 	EventCongestionOnset = "congestion_onset" // a group's smoothed stall ratio crossed StallOnset
 	EventCongestionClear = "congestion_clear" // a congested group dropped back below StallClear
 	EventSamplerGap      = "sampler_gap"      // a run of missing samples (or a timestamp jump) closed
+	EventModelDrift      = "model_drift"      // rolling live forecast MAPE breached the drift threshold (emitted by the daemon via Emit)
 )
 
 // Event is one structured anomaly record. Router and Group are -1 when not
@@ -59,6 +60,8 @@ type Event struct {
 	GapStart   float64 `json:"gap_start,omitempty"`   // first missing timestamp (gap events)
 	GapEnd     float64 `json:"gap_end,omitempty"`     // last missing timestamp (gap events)
 	Missed     int     `json:"missed,omitempty"`      // samples lost in the gap
+	LiveMAPE   float64 `json:"live_mape,omitempty"`   // rolling forecast MAPE on live windows (drift events)
+	TrainMAPE  float64 `json:"train_mape,omitempty"`  // training-time MAPE of the serving model (drift events)
 	Source     string  `json:"source,omitempty"`      // Config.Source tag ("campaign", "replay", …)
 }
 
@@ -409,6 +412,17 @@ func (m *Monitor) emitLocked(ev Event) {
 	if err != nil {
 		m.encodeErr = fmt.Errorf("monitor: writing event: %w", err)
 	}
+}
+
+// Emit writes an externally-detected event into the monitor's stream,
+// counting it like any detector event. Callers outside this package (the
+// retraining daemon's drift detector) use it so operator tooling sees one
+// merged JSONL stream instead of a second file to tail. Router/Group
+// should carry the -1 sentinel when not applicable.
+func (m *Monitor) Emit(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.emitLocked(ev)
 }
 
 // gapFractionLocked returns missing/(missing+healthy). Callers hold mu.

@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// readRotation returns every line across the rotated sequence plus the
+// active file, oldest first — the reader's view of the whole stream.
+func readRotation(t *testing.T, path string) []string {
+	t.Helper()
+	var files []string
+	for seq := 1; ; seq++ {
+		p := fmt.Sprintf("%s.%d", path, seq)
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		files = append(files, p)
+	}
+	files = append(files, path)
+	var lines []string
+	for _, p := range files {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[len(raw)-1] != '\n' {
+			t.Fatalf("%s does not end in a newline: rotation split a line", p)
+		}
+		lines = append(lines, strings.Split(strings.TrimRight(string(raw), "\n"), "\n")...)
+	}
+	return lines
+}
+
+// TestRotationGapFree writes numbered lines through a tiny size bound and
+// asserts every line lands exactly once, in order, none split across the
+// rotation boundary.
+func TestRotationGapFree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := NewRotatingWriter(path, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf(`{"seq":%03d,"pad":"xxxxxxxx"}`+"\n", i)
+		if _, err := w.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := readRotation(t, path)
+	if len(lines) != n {
+		t.Fatalf("got %d lines across rotation, want %d", len(lines), n)
+	}
+	for i, line := range lines {
+		want := fmt.Sprintf(`{"seq":%03d,"pad":"xxxxxxxx"}`, i)
+		if line != want {
+			t.Fatalf("line %d = %q, want %q", i, line, want)
+		}
+	}
+	// The bound actually rotated: more than one file exists.
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotation happened: %v", err)
+	}
+}
+
+// TestRotationSequenceContinues restarts the writer and checks it appends
+// new rotations after the existing ones instead of clobbering them.
+func TestRotationSequenceContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	write := func(lo, hi int) {
+		w, err := NewRotatingWriter(path, 48, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := lo; i < hi; i++ {
+			if _, err := fmt.Fprintf(w, "line-%04d\n", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(0, 20)
+	write(20, 40) // second process: must continue the .N sequence
+
+	lines := readRotation(t, path)
+	if len(lines) != 40 {
+		t.Fatalf("got %d lines, want 40", len(lines))
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("lines out of order across restart: %v", lines)
+	}
+	for i, line := range lines {
+		if want := fmt.Sprintf("line-%04d", i); line != want {
+			t.Fatalf("line %d = %q, want %q", i, line, want)
+		}
+	}
+}
+
+// TestRotationDisabled checks both bounds zero means plain append.
+func TestRotationDisabled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := NewRotatingWriter(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := fmt.Fprintf(w, "line-%d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("unbounded writer rotated: %v", err)
+	}
+	if lines := readRotation(t, path); len(lines) != 50 {
+		t.Fatalf("got %d lines, want 50", len(lines))
+	}
+}
+
+// TestMonitorEventsThroughRotation runs real monitor JSON events through
+// a rotating writer and checks every event line survives whole.
+func TestMonitorEventsThroughRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := NewRotatingWriter(path, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{NumRouters: 4, Events: w, Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		m.Emit(Event{T: float64(i), Type: EventModelDrift, Router: -1, Group: -1,
+			LiveMAPE: 0.5, TrainMAPE: 0.1})
+	}
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := readRotation(t, path)
+	if len(lines) != 40 {
+		t.Fatalf("got %d event lines, want 40", len(lines))
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("line %d is not a whole JSON object: %q", i, line)
+		}
+		if !strings.Contains(line, `"model_drift"`) {
+			t.Fatalf("line %d missing drift type: %q", i, line)
+		}
+	}
+}

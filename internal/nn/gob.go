@@ -4,7 +4,17 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 )
+
+// Pin forecasterWire's process-global gob id at init so serialized model
+// bytes don't depend on encode order within the process (gob wire ids
+// come from a global counter; see internal/dataset/gob_init.go).
+func init() {
+	if err := gob.NewEncoder(io.Discard).Encode(forecasterWire{}); err != nil {
+		panic("nn: gob warm-up: " + err.Error())
+	}
+}
 
 // forecasterWire is the gob wire form of a trained forecaster: the
 // hyperparameters that fix the parameter layout, the flat parameter

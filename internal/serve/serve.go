@@ -65,6 +65,50 @@ type Config struct {
 	CacheSize   int           // LRU prediction-cache entries; default 4096
 }
 
+// Models is the hot-swappable part of a Config: the loaded models with
+// their schemas and content ids. Swap installs a new set atomically while
+// requests are in flight.
+type Models struct {
+	Forecaster   *nn.Forecaster
+	ForecastMeta modelstore.Meta
+	ForecastID   string
+
+	GBR       *gbr.Model
+	GBRMeta   modelstore.Meta
+	GBRID     string
+	Adv       *advisor.Advisor
+	AdvisorID string
+}
+
+func (c Config) models() Models {
+	return Models{
+		Forecaster: c.Forecaster, ForecastMeta: c.ForecastMeta, ForecastID: c.ForecastID,
+		GBR: c.GBR, GBRMeta: c.GBRMeta, GBRID: c.GBRID,
+		Adv: c.Adv, AdvisorID: c.AdvisorID,
+	}
+}
+
+// modelSet is one immutable generation of serving state: the models plus
+// the per-generation machinery whose contents are model-dependent (the
+// batching loop bound to the forecaster, the prediction cache, the window
+// shape). Requests pin a generation for their lifetime under modelsMu's
+// read lock, so a swap can never mix predictions across generations.
+type modelSet struct {
+	Models
+	m, h    int // forecaster window shape (0 when no forecaster)
+	batcher *batcher
+	cache   *lru
+}
+
+func newModelSet(m Models, cfg Config) *modelSet {
+	ms := &modelSet{Models: m, cache: newLRU(cfg.CacheSize)}
+	if m.Forecaster != nil {
+		ms.m, ms.h = m.Forecaster.WindowShape()
+		ms.batcher = newBatcher(m.Forecaster, cfg.MaxBatch, cfg.BatchWindow)
+	}
+	return ms
+}
+
 func (c Config) withDefaults() Config {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 64
@@ -87,11 +131,14 @@ func (c Config) withDefaults() Config {
 // Server is the inference service. Create with New, expose with Handler,
 // stop with Drain.
 type Server struct {
-	cfg  Config
-	m, h int // forecaster window shape (0 when no forecaster)
+	cfg Config
 
-	batcher *batcher
-	cache   *lru
+	// models is the current serving generation; modelsMu is held shared
+	// for the duration of any model access, so Swap (write lock) installs
+	// a new generation only between requests and can safely stop the old
+	// generation's batcher afterwards.
+	modelsMu sync.RWMutex
+	models   *modelSet
 
 	sem     chan struct{}
 	waiting atomic.Int64
@@ -103,6 +150,7 @@ type Server struct {
 
 	reqs, errs, shed       *telemetry.Counter
 	cacheHits, cacheMisses *telemetry.Counter
+	reloads                *telemetry.Counter
 	inflight, drainG       *telemetry.Gauge
 	queueDepth             *telemetry.Histogram
 	latForecast            *telemetry.Histogram
@@ -123,13 +171,13 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
-		cache:       newLRU(cfg.CacheSize),
 		sem:         make(chan struct{}, cfg.MaxInflight),
 		reqs:        telemetry.C(telemetry.MServeRequests),
 		errs:        telemetry.C(telemetry.MServeErrors),
 		shed:        telemetry.C(telemetry.MServeShed),
 		cacheHits:   telemetry.C(telemetry.MServeCacheHits),
 		cacheMisses: telemetry.C(telemetry.MServeCacheMisses),
+		reloads:     telemetry.C(telemetry.MServeModelReloads),
 		inflight:    telemetry.G(telemetry.GServeInflight),
 		drainG:      telemetry.G(telemetry.GServeDraining),
 		queueDepth:  telemetry.H(telemetry.MServeQueueDepth, telemetry.QueueDepthBuckets),
@@ -143,10 +191,7 @@ func New(cfg Config) *Server {
 		reqBlame:     telemetry.C(telemetry.MServeBlameReqs),
 		reqSpec:      telemetry.C(telemetry.MServeSpecReqs),
 	}
-	if cfg.Forecaster != nil {
-		s.m, s.h = cfg.Forecaster.WindowShape()
-		s.batcher = newBatcher(cfg.Forecaster, cfg.MaxBatch, cfg.BatchWindow)
-	}
+	s.models = newModelSet(cfg.models(), cfg)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -184,14 +229,65 @@ func (s *Server) Drain() {
 	// the write lock therefore blocks until the last one completes
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
-	if s.batcher != nil {
-		s.batcher.stop()
+	// modelsMu excludes a concurrent Swap, whose freshly-built batcher
+	// would otherwise escape this stop
+	s.modelsMu.Lock()
+	defer s.modelsMu.Unlock()
+	if s.models.batcher != nil {
+		s.models.batcher.stop()
 	}
+}
+
+// acquire pins the current model generation for the caller's lifetime;
+// the returned release must be called when done with the models.
+func (s *Server) acquire() (*modelSet, func()) {
+	s.modelsMu.RLock()
+	return s.models, s.modelsMu.RUnlock
+}
+
+// Swap atomically installs a new model set: in-flight requests finish on
+// the generation they pinned, new arrivals see the new models, the old
+// batching loop is stopped after its last request completes, and the
+// prediction cache starts cold (its entries belong to the old model).
+// Refused once a drain has begun. This is the hot-reload path dfserved
+// takes when a published ref advances (or on SIGHUP).
+func (s *Server) Swap(m Models) error {
+	next := newModelSet(m, s.cfg)
+	s.modelsMu.Lock()
+	if s.draining.Load() {
+		s.modelsMu.Unlock()
+		if next.batcher != nil {
+			next.batcher.stop()
+		}
+		return fmt.Errorf("serve: swap refused: draining")
+	}
+	old := s.models
+	s.models = next
+	s.modelsMu.Unlock()
+	// the write lock excluded every reader of the old generation, so its
+	// batcher has no callers left; stop flushes nothing and exits cleanly
+	if old.batcher != nil {
+		old.batcher.stop()
+	}
+	s.reloads.Inc()
+	return nil
 }
 
 // CacheLen returns the current prediction-cache entry count (for tests
 // and the spec endpoint).
-func (s *Server) CacheLen() int { return s.cache.len() }
+func (s *Server) CacheLen() int {
+	ms, release := s.acquire()
+	defer release()
+	return ms.cache.len()
+}
+
+// ModelIDs returns the content ids of the currently served models — what
+// a reloader compares against the store's refs to decide whether to Swap.
+func (s *Server) ModelIDs() (forecast, gbr, advisor string) {
+	ms, release := s.acquire()
+	defer release()
+	return ms.ForecastID, ms.GBRID, ms.AdvisorID
+}
 
 // apiError is the JSON error body every non-2xx API response carries.
 func apiError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -334,17 +430,19 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	defer span.End()
 	s.reqSpec.Inc()
 	defer s.latSpec.ObserveSince(start)
+	ms, release := s.acquire()
+	defer release()
 	writeJSON(w, specResponse{
-		Dataset:           s.cfg.ForecastMeta.Dataset,
-		Spec:              s.cfg.ForecastMeta.Spec,
-		M:                 s.m,
-		K:                 s.cfg.ForecastMeta.K,
-		WindowFeatures:    s.cfg.ForecastMeta.FeatureNames,
-		DeviationFeatures: s.cfg.GBRMeta.FeatureNames,
-		ForecastModel:     s.cfg.ForecastID,
-		DeviationModel:    s.cfg.GBRID,
-		AdvisorModel:      s.cfg.AdvisorID,
-		CacheEntries:      s.cache.len(),
+		Dataset:           ms.ForecastMeta.Dataset,
+		Spec:              ms.ForecastMeta.Spec,
+		M:                 ms.m,
+		K:                 ms.ForecastMeta.K,
+		WindowFeatures:    ms.ForecastMeta.FeatureNames,
+		DeviationFeatures: ms.GBRMeta.FeatureNames,
+		ForecastModel:     ms.ForecastID,
+		DeviationModel:    ms.GBRID,
+		AdvisorModel:      ms.AdvisorID,
+		CacheEntries:      ms.cache.len(),
 	})
 }
 
@@ -365,7 +463,9 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.cfg.Forecaster == nil {
+	ms, release := s.acquire()
+	defer release()
+	if ms.Forecaster == nil {
 		s.errs.Inc()
 		apiError(w, http.StatusServiceUnavailable, "no forecaster loaded")
 		return
@@ -376,15 +476,15 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "bad payload: %v", err)
 		return
 	}
-	if len(req.Window) != s.m {
+	if len(req.Window) != ms.m {
 		s.errs.Inc()
-		apiError(w, http.StatusBadRequest, "window has %d steps, model wants %d", len(req.Window), s.m)
+		apiError(w, http.StatusBadRequest, "window has %d steps, model wants %d", len(req.Window), ms.m)
 		return
 	}
 	for i, row := range req.Window {
-		if len(row) != s.h {
+		if len(row) != ms.h {
 			s.errs.Inc()
-			apiError(w, http.StatusBadRequest, "window step %d has %d features, model wants %d", i, len(row), s.h)
+			apiError(w, http.StatusBadRequest, "window step %d has %d features, model wants %d", i, len(row), ms.h)
 			return
 		}
 		for j, v := range row {
@@ -397,7 +497,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := windowHash(req.Window)
-	if pred, ok := s.cache.get(key); ok {
+	if pred, ok := ms.cache.get(key); ok {
 		s.cacheHits.Inc()
 		telemetry.FromContext(r.Context()).SetAttr("cached", "true")
 		writeJSON(w, forecastResponse{Prediction: pred, Cached: true})
@@ -406,14 +506,14 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	s.cacheMisses.Inc()
 	telemetry.FromContext(r.Context()).SetAttr("cached", "false")
 	pctx, predictSpan := telemetry.Start(r.Context(), telemetry.SpanServePredict)
-	pred, err := s.batcher.predict(pctx, req.Window)
+	pred, err := ms.batcher.predict(pctx, req.Window)
 	predictSpan.End()
 	if err != nil {
 		s.errs.Inc()
 		apiError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.cache.put(key, pred)
+	ms.cache.put(key, pred)
 	writeJSON(w, forecastResponse{Prediction: pred, Cached: false})
 }
 
@@ -433,7 +533,9 @@ func (s *Server) handleDeviation(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.cfg.GBR == nil {
+	ms, release := s.acquire()
+	defer release()
+	if ms.GBR == nil {
 		s.errs.Inc()
 		apiError(w, http.StatusServiceUnavailable, "no deviation model loaded")
 		return
@@ -444,9 +546,9 @@ func (s *Server) handleDeviation(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "bad payload: %v", err)
 		return
 	}
-	want := len(s.cfg.GBRMeta.FeatureNames)
+	want := len(ms.GBRMeta.FeatureNames)
 	if want == 0 {
-		want = len(s.cfg.GBR.Importance())
+		want = len(ms.GBR.Importance())
 	}
 	if len(req.Features) != want {
 		s.errs.Inc()
@@ -460,7 +562,7 @@ func (s *Server) handleDeviation(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, deviationResponse{Deviation: s.cfg.GBR.Predict(req.Features)})
+	writeJSON(w, deviationResponse{Deviation: ms.GBR.Predict(req.Features)})
 }
 
 // blameRequest is the /v1/advisor/blame payload: the users currently
@@ -477,12 +579,14 @@ type blameResponse struct {
 }
 
 func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Adv == nil {
+	ms, release := s.acquire()
+	defer release()
+	if ms.Adv == nil {
 		s.errs.Inc()
 		apiError(w, http.StatusServiceUnavailable, "no advisor loaded")
 		return
 	}
-	blamed := s.cfg.Adv.Blamed()
+	blamed := ms.Adv.Blamed()
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, blameResponse{BlameListSize: len(blamed), Blamed: blamed})
@@ -493,7 +597,7 @@ func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {
 			apiError(w, http.StatusBadRequest, "bad payload: %v", err)
 			return
 		}
-		delay, present := s.cfg.Adv.ShouldDelay(req.RunningUsers)
+		delay, present := ms.Adv.ShouldDelay(req.RunningUsers)
 		if present == nil {
 			present = []string{}
 		}

@@ -64,6 +64,10 @@ const (
 	MCacheLoadSecs   = "dataset/cache_load_seconds" // histogram: Load wall time
 	MCacheSaveSecs   = "dataset/cache_save_seconds" // histogram: Save wall time
 
+	// internal/dataset — the streaming ingest path (daemon mode).
+	MSegmentsSealed    = "dataset/segments_sealed_total" // counter: ingest windows sealed into segment files
+	MSegmentWriteBytes = "dataset/segment_write_bytes"   // counter: segment bytes written (CRC-framed gob)
+
 	// the ML stack (internal/gbr, internal/nn, internal/rfe).
 	MGBRFits    = "ml/gbr_fits_total"   // counter: boosted models fitted
 	MGBRFitSecs = "ml/gbr_fit_seconds"  // histogram: per-fit wall time
@@ -73,24 +77,25 @@ const (
 	MRFERounds  = "ml/rfe_rounds_total" // counter: RFE elimination iterations across folds
 
 	// internal/serve — the forecast-serving daemon (cmd/dfserved).
-	MServeRequests      = "serve/requests_total"    // counter: API requests admitted past the limiter
-	MServeErrors        = "serve/errors_total"      // counter: 4xx/5xx API responses (bad payloads, internal errors)
-	MServeShed          = "serve/shed_total"        // counter: requests shed with 429 (queue full) or 503 (draining)
+	MServeRequests      = "serve/requests_total"           // counter: API requests admitted past the limiter
+	MServeErrors        = "serve/errors_total"             // counter: 4xx/5xx API responses (bad payloads, internal errors)
+	MServeShed          = "serve/shed_total"               // counter: requests shed with 429 (queue full) or 503 (draining)
 	MServeForecastReqs  = "serve/forecast_requests_total"  // counter: /v1/forecast requests admitted
 	MServeDeviationReqs = "serve/deviation_requests_total" // counter: /v1/deviation requests admitted
 	MServeBlameReqs     = "serve/blame_requests_total"     // counter: /v1/advisor/blame requests admitted
 	MServeSpecReqs      = "serve/spec_requests_total"      // counter: /v1/spec requests served
-	MServeForecastSecs  = "serve/forecast_seconds"  // histogram: /v1/forecast end-to-end latency
-	MServeDeviationSecs = "serve/deviation_seconds" // histogram: /v1/deviation end-to-end latency
-	MServeBlameSecs     = "serve/blame_seconds"     // histogram: /v1/advisor/blame end-to-end latency
-	MServeSpecSecs      = "serve/spec_seconds"      // histogram: /v1/spec end-to-end latency
-	MServeQueueDepth    = "serve/queue_depth"       // histogram: waiting requests sampled at each admission
-	GServeInflight      = "serve/inflight"          // gauge: requests currently holding an execution slot
-	GServeDraining      = "serve/draining"          // gauge: 1 while graceful drain is in progress
-	MServeCacheHits     = "serve/cache_hits"        // counter: forecast LRU prediction-cache hits
-	MServeCacheMisses   = "serve/cache_misses"      // counter: forecast LRU prediction-cache misses
-	MServeBatches       = "serve/batches_total"     // counter: coalesced model batch calls
-	MServeBatchSize     = "serve/batch_size"        // histogram: forecast requests coalesced per batch call
+	MServeForecastSecs  = "serve/forecast_seconds"         // histogram: /v1/forecast end-to-end latency
+	MServeDeviationSecs = "serve/deviation_seconds"        // histogram: /v1/deviation end-to-end latency
+	MServeBlameSecs     = "serve/blame_seconds"            // histogram: /v1/advisor/blame end-to-end latency
+	MServeSpecSecs      = "serve/spec_seconds"             // histogram: /v1/spec end-to-end latency
+	MServeQueueDepth    = "serve/queue_depth"              // histogram: waiting requests sampled at each admission
+	GServeInflight      = "serve/inflight"                 // gauge: requests currently holding an execution slot
+	GServeDraining      = "serve/draining"                 // gauge: 1 while graceful drain is in progress
+	MServeCacheHits     = "serve/cache_hits"               // counter: forecast LRU prediction-cache hits
+	MServeCacheMisses   = "serve/cache_misses"             // counter: forecast LRU prediction-cache misses
+	MServeBatches       = "serve/batches_total"            // counter: coalesced model batch calls
+	MServeBatchSize     = "serve/batch_size"               // histogram: forecast requests coalesced per batch call
+	MServeModelReloads  = "serve/model_reloads_total"      // counter: hot model swaps (ref advance or SIGHUP)
 
 	// internal/dist — the distributed campaign layer (coordinator unless
 	// noted; the client-retry counter is recorded by worker processes).
@@ -109,6 +114,21 @@ const (
 	GDistWorkers          = "dist/workers"                  // gauge: workers currently considered alive
 	GDistPendingUnits     = "dist/pending_units"            // gauge: units of the current round not yet completed
 	GDistLeasedUnits      = "dist/leased_units"             // gauge: units currently out on a lease
+
+	// internal/monitor — event-stream rotation (daemon mode).
+	MMonitorRotations = "monitor/rotations_total" // counter: JSONL event files rotated out
+
+	// internal/daemon — the continuous-operation daemon (cmd/dfvard).
+	MDaemonEpochs        = "daemon/epochs_total"         // counter: campaign epochs completed
+	MDaemonRunsIngested  = "daemon/runs_ingested_total"  // counter: runs streamed into the windowed dataset
+	MDaemonResumedRuns   = "daemon/resumed_runs_total"   // counter: runs skipped on resume (already ingested pre-kill)
+	MDaemonRetrains      = "daemon/retrains_total"       // counter: retraining passes (scheduled + drift)
+	MDaemonDriftRetrains = "daemon/drift_retrains_total" // counter: retrains triggered by drift breaches
+	MDaemonPublishes     = "daemon/publishes_total"      // counter: model refs advanced in the modelstore
+	MDaemonEpochSecs     = "daemon/epoch_seconds"        // histogram: wall time per campaign epoch
+	MDaemonRetrainSecs   = "daemon/retrain_seconds"      // histogram: wall time per retraining pass
+	GDaemonLiveMAPE      = "daemon/live_mape"            // gauge: rolling forecast MAPE over recent sealed windows
+	GDaemonTrainMAPE     = "daemon/train_mape"           // gauge: training-time MAPE of the serving forecaster
 )
 
 // Serving bucket layouts. Like the layouts in telemetry.go these are fixed
@@ -156,6 +176,11 @@ const (
 	SpanServeRequest = "serve/request" // one API request, admission → response (attrs: endpoint, outcome)
 	SpanServeAdmit   = "serve/admit"   // child: admission queue wait
 	SpanServePredict = "serve/predict" // child: batched model call on a forecast cache miss
+
+	// internal/daemon — the continuous-operation loop in cmd/dfvard.
+	SpanDaemonEpoch   = "daemon/epoch"   // one campaign epoch: simulate + ingest
+	SpanDaemonRetrain = "daemon/retrain" // one retraining pass (attrs: reason, retrain index)
+	SpanDaemonPublish = "daemon/publish" // one modelstore publish of a retrained model set
 )
 
 // AllMetricNames lists every metric name the repository emits; the doc-lint
@@ -169,17 +194,22 @@ var AllMetricNames = []string{
 	MClusterRuns, MClusterDrained, MClusterRequeues, MClusterAbandoned, MClusterRounds, MClusterRunSecs, MClusterMergeSecs,
 	MLDMSSamples,
 	MCacheHits, MCacheMisses, MCacheReadBytes, MCacheWriteBytes, MCacheLoadSecs, MCacheSaveSecs,
+	MSegmentsSealed, MSegmentWriteBytes,
 	MGBRFits, MGBRFitSecs, MNNFits, MNNFitSecs, MRFEFolds, MRFERounds,
 	MServeRequests, MServeErrors, MServeShed,
 	MServeForecastReqs, MServeDeviationReqs, MServeBlameReqs, MServeSpecReqs,
 	MServeForecastSecs, MServeDeviationSecs, MServeBlameSecs, MServeSpecSecs, MServeQueueDepth,
 	GServeInflight, GServeDraining,
-	MServeCacheHits, MServeCacheMisses, MServeBatches, MServeBatchSize,
+	MServeCacheHits, MServeCacheMisses, MServeBatches, MServeBatchSize, MServeModelReloads,
 	MDistLeasesGranted, MDistLeaseExpired, MDistLeaseRedispatch,
 	MDistResults, MDistResultsMalformed, MDistResultsStale,
 	MDistWorkerDeaths, MDistCheckpointRecs, MDistResumedUnits, MDistClientRetries,
 	MDistHeartbeatGap, MDistWorkerUnits,
 	GDistWorkers, GDistPendingUnits, GDistLeasedUnits,
+	MMonitorRotations,
+	MDaemonEpochs, MDaemonRunsIngested, MDaemonResumedRuns,
+	MDaemonRetrains, MDaemonDriftRetrains, MDaemonPublishes,
+	MDaemonEpochSecs, MDaemonRetrainSecs, GDaemonLiveMAPE, GDaemonTrainMAPE,
 }
 
 // AllSpanNames lists every fixed span name plus the report prefix.
@@ -189,4 +219,5 @@ var AllSpanNames = []string{
 	SpanLDMSRecord, SpanReportPrefix,
 	SpanDistUnit, SpanDistWorker, SpanDistUnitExec, SpanDistSimulate, SpanDistDeliver, SpanDistRPCPrefix,
 	SpanServeRequest, SpanServeAdmit, SpanServePredict,
+	SpanDaemonEpoch, SpanDaemonRetrain, SpanDaemonPublish,
 }
